@@ -1,0 +1,67 @@
+// Headline result (§ abstract / §6): ADTS at its best configuration
+// (Type 3 heuristic, IPC threshold 2) versus fixed ICOUNT, per mix.
+//
+// The paper reports performance "improved by as much as 25%" (abstract)
+// / "significant room (27%)" (§7) — best case over the mixtures, with
+// smaller average gains; and that ADTS helps homogeneous mixes most.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace smt;
+  const sim::ExperimentScale scale = sim::ExperimentScale::from_env();
+  const auto mixes = sim::mixes_for_scale(scale);
+
+  print_banner(std::cout,
+               "ADTS (Type 3, m=2) vs fixed ICOUNT, 8 threads — static "
+               "calibrated conditions and adaptive (EWMA-profiled) "
+               "conditions (§4.3.2)");
+
+  Table t({"mix", "diversity", "ICOUNT", "ADTS static", "gain",
+           "ADTS adaptive", "gain", "switches", "P(benign)"});
+  std::vector<double> gains_static;
+  std::vector<double> gains_adaptive;
+  double best_gain = -1e9;
+  std::string best_mix;
+
+  core::AdtsConfig adaptive;
+  adaptive.adaptive_conditions = true;
+
+  for (const auto& mname : mixes) {
+    const workload::Mix& mix = workload::mix(mname);
+    const double fixed =
+        sim::run_fixed(mix, policy::FetchPolicy::kIcount, 8, scale).ipc();
+    const sim::SampleResult s =
+        sim::run_adts(mix, core::HeuristicType::kType3, 2.0, 8, scale);
+    const sim::SampleResult a = sim::run_adts(
+        mix, core::HeuristicType::kType3, 2.0, 8, scale, &adaptive);
+    const double gs = 100.0 * (s.ipc() / fixed - 1.0);
+    const double ga = 100.0 * (a.ipc() / fixed - 1.0);
+    gains_static.push_back(gs);
+    gains_adaptive.push_back(ga);
+    if (ga > best_gain) {
+      best_gain = ga;
+      best_mix = mname;
+    }
+    t.add_row({mname, Table::num(mix.diversity(), 3), Table::num(fixed),
+               Table::num(s.ipc()), Table::num(gs, 1) + "%",
+               Table::num(a.ipc()), Table::num(ga, 1) + "%",
+               std::to_string(a.switches),
+               Table::num(a.benign_fraction(), 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nmean improvement: static " << Table::num(mean(gains_static), 1)
+            << "%, adaptive " << Table::num(mean(gains_adaptive), 1)
+            << "%   best (adaptive): " << Table::num(best_gain, 1) << "% ("
+            << best_mix << ")\n"
+            << "paper: improvement \"as much as 25%\" best-case; larger "
+               "gains for homogeneous (low-diversity) mixes. The adaptive "
+               "column is the paper's own \"kernel re-profiles the "
+               "thresholds\" prescription; the static column shows why it "
+               "is needed.\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Figure 7: effect of the IPC threshold value on switch occurrence and
+// quality (four panels), averaged over the mixes.
+//
+//   7a — number of switchings vs threshold value (one series per type)
+//   7b — number of switchings vs heuristic type (one series per threshold)
+//   7c — probability of benign switches vs threshold value
+//   7d — probability of benign switches vs type
+//
+// Paper's expected shape: switching count rises with the threshold for
+// every type; benign-switch probability falls with the threshold (but
+// more slowly than the count rises); Type 4 produces more low-quality
+// (malignant) switches than Type 3/3′.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace smt;
+  const sim::ExperimentScale scale = sim::ExperimentScale::from_env();
+  const sim::SweepGrid grid = sim::run_fig78_sweep(scale);
+
+  auto type_name = [&](std::size_t ti) {
+    return std::string(core::name(grid.types[ti]));
+  };
+  auto thr_name = [&](std::size_t mi) {
+    return "m=" + Table::num(grid.thresholds[mi], 0);
+  };
+
+  // --- 7a: switches vs threshold, series per type ---------------------
+  print_banner(std::cout, "Figure 7a: number of switchings vs threshold "
+                          "value (avg per run, all mixes)");
+  {
+    std::vector<std::string> headers{"threshold"};
+    for (std::size_t ti = 0; ti < grid.types.size(); ++ti) {
+      headers.push_back(type_name(ti));
+    }
+    Table t(headers);
+    for (std::size_t mi = 0; mi < grid.thresholds.size(); ++mi) {
+      std::vector<std::string> row{thr_name(mi)};
+      for (std::size_t ti = 0; ti < grid.types.size(); ++ti) {
+        row.push_back(Table::num(grid.cell(ti, mi).switches, 1));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  // --- 7b: switches vs type, series per threshold ---------------------
+  print_banner(std::cout,
+               "Figure 7b: number of switchings vs heuristic type");
+  {
+    std::vector<std::string> headers{"type"};
+    for (std::size_t mi = 0; mi < grid.thresholds.size(); ++mi) {
+      headers.push_back(thr_name(mi));
+    }
+    Table t(headers);
+    for (std::size_t ti = 0; ti < grid.types.size(); ++ti) {
+      std::vector<std::string> row{type_name(ti)};
+      for (std::size_t mi = 0; mi < grid.thresholds.size(); ++mi) {
+        row.push_back(Table::num(grid.cell(ti, mi).switches, 1));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  // --- 7c: benign probability vs threshold ----------------------------
+  print_banner(std::cout, "Figure 7c: probability of benign switches vs "
+                          "threshold value");
+  {
+    std::vector<std::string> headers{"threshold"};
+    for (std::size_t ti = 0; ti < grid.types.size(); ++ti) {
+      headers.push_back(type_name(ti));
+    }
+    Table t(headers);
+    for (std::size_t mi = 0; mi < grid.thresholds.size(); ++mi) {
+      std::vector<std::string> row{thr_name(mi)};
+      for (std::size_t ti = 0; ti < grid.types.size(); ++ti) {
+        row.push_back(Table::num(grid.cell(ti, mi).benign_prob, 2));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  // --- 7d: benign probability vs type ---------------------------------
+  print_banner(std::cout,
+               "Figure 7d: probability of benign switches vs heuristic type");
+  {
+    std::vector<std::string> headers{"type"};
+    for (std::size_t mi = 0; mi < grid.thresholds.size(); ++mi) {
+      headers.push_back(thr_name(mi));
+    }
+    Table t(headers);
+    for (std::size_t ti = 0; ti < grid.types.size(); ++ti) {
+      std::vector<std::string> row{type_name(ti)};
+      for (std::size_t mi = 0; mi < grid.thresholds.size(); ++mi) {
+        row.push_back(Table::num(grid.cell(ti, mi).benign_prob, 2));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  // Summary checks against the paper's qualitative findings.
+  std::size_t t3 = 2;  // Type 3 index
+  std::size_t t4 = 4;  // Type 4 index
+  double t3_benign = 0;
+  double t4_benign = 0;
+  for (std::size_t mi = 0; mi < grid.thresholds.size(); ++mi) {
+    t3_benign += grid.cell(t3, mi).benign_prob;
+    t4_benign += grid.cell(t4, mi).benign_prob;
+  }
+  std::cout << "\npaper check — switching frequency rises with threshold: "
+            << (grid.cell(t3, 4).switches >= grid.cell(t3, 0).switches
+                    ? "YES"
+                    : "NO")
+            << "\npaper check — Type 4 has more malignant switches than "
+               "Type 3 (lower benign prob): "
+            << (t4_benign <= t3_benign ? "YES" : "NO") << '\n';
+  return 0;
+}

@@ -1,0 +1,95 @@
+// google-benchmark micro-benchmarks of the simulator's hot components:
+// cache access, branch prediction, workload synthesis, full pipeline
+// step, and simulator snapshot cost (which bounds oracle throughput).
+#include <benchmark/benchmark.h>
+
+#include "branch/predictor.hpp"
+#include "common/rng.hpp"
+#include "mem/cache.hpp"
+#include "sim/simulator.hpp"
+#include "workload/mix.hpp"
+#include "workload/thread_program.hpp"
+
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  smt::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  smt::mem::Cache c(smt::mem::CacheConfig{"L1D", 32 * 1024, 32, 4});
+  c.access(0x1000, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(0x1000, false));
+  }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessStream(benchmark::State& state) {
+  smt::mem::Cache c(smt::mem::CacheConfig{"L2", 2048 * 1024, 64, 8});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(addr, false));
+    addr += 64;
+  }
+}
+BENCHMARK(BM_CacheAccessStream);
+
+void BM_PredictorPredictUpdate(benchmark::State& state) {
+  smt::branch::Predictor p;
+  smt::Rng rng(3);
+  for (auto _ : state) {
+    const std::uint64_t pc = rng.below(4096) * 4;
+    const bool pred = p.predict(0, pc);
+    p.update(0, pc, rng.chance(0.7), pc + 64, pred != true);
+  }
+}
+BENCHMARK(BM_PredictorPredictUpdate);
+
+void BM_WorkloadSynthesis(benchmark::State& state) {
+  smt::workload::ThreadProgram prog(smt::workload::profile("gcc"), 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prog.next());
+  }
+}
+BENCHMARK(BM_WorkloadSynthesis);
+
+void BM_PipelineStep(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  smt::sim::Simulator sim(smt::sim::make_config(
+      smt::workload::mix("bal1"), threads, 1));
+  sim.run(10000);  // warm
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.counters["IPC"] = sim.ipc();
+}
+BENCHMARK(BM_PipelineStep)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_SimulatorSnapshot(benchmark::State& state) {
+  smt::sim::Simulator sim(smt::sim::make_config(
+      smt::workload::mix("bal1"), 8, 1));
+  sim.run(10000);
+  for (auto _ : state) {
+    smt::sim::Simulator copy = sim;
+    benchmark::DoNotOptimize(copy.now());
+  }
+}
+BENCHMARK(BM_SimulatorSnapshot);
+
+void BM_QuantumRun(benchmark::State& state) {
+  smt::sim::Simulator sim(smt::sim::make_config(
+      smt::workload::mix("bal1"), 8, 1));
+  sim.run(10000);
+  for (auto _ : state) {
+    sim.run(8192);
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_QuantumRun);
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Custom workload: define an application profile from scratch (instead
+// of using the SPEC-inspired registry), co-schedule it with built-ins,
+// and compare fixed ICOUNT against ADTS on the resulting mix.
+//
+// Shows the knobs a user turns to model their own application: class
+// mix, dependency distance (ILP), footprint/locality, branch-site
+// behaviour, and phases.
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/simulator.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/thread_program.hpp"
+
+int main() {
+  using namespace smt;
+
+  // A pointer-chasing, phase-flipping database-like workload: branchy
+  // lookup phases alternating with memory-bound scan phases.
+  workload::AppProfile dbapp;
+  dbapp.name = "dbscan";
+  dbapp.mix.int_alu = 0.40;
+  dbapp.mix.load = 0.30;
+  dbapp.mix.store = 0.10;
+  dbapp.mix.branch = 0.18;
+  dbapp.mix.int_mul = 0.02;
+  dbapp.mean_dep_distance = 2.2;   // tight pointer chains
+  dbapp.dep2_prob = 0.3;
+  dbapp.working_set_bytes = 32ull << 20;
+  dbapp.hot_set_bytes = 2048;
+  dbapp.hot_fraction = 0.55;
+  dbapp.stride_fraction = 0.15;    // some sequential scans
+  dbapp.code_bytes = 48 * 1024;
+  dbapp.branch_sites = 512;
+  dbapp.predictable_sites = 0.7;   // data-dependent lookups
+  dbapp.phases = {workload::PhaseKind::kBranchy, workload::PhaseKind::kMemory};
+  dbapp.phase_len_instrs = 6000;
+  dbapp.phase_swing = 0.8;
+
+  // Co-schedule four copies with four well-behaved built-ins. Profiles
+  // passed to ThreadProgram directly — the registry is a convenience,
+  // not a requirement.
+  std::vector<std::string> partners = {"gzip", "crafty", "mesa", "sixtrack"};
+
+  auto build = [&](bool adts) {
+    sim::SimConfig cfg;
+    cfg.apps = partners;
+    cfg.workload_seed = 7;
+    cfg.use_adts = adts;
+    cfg.adts.heuristic = core::HeuristicType::kType3;
+    cfg.adts.ipc_threshold = 2.0;
+    // SimConfig names profiles from the registry; for the custom app we
+    // construct the Simulator's programs by hand through the pipeline
+    // API instead.
+    std::vector<workload::ThreadProgram> programs;
+    std::uint32_t tid = 0;
+    for (int i = 0; i < 4; ++i) programs.emplace_back(dbapp, tid++, 7);
+    for (const auto& name : partners) {
+      programs.emplace_back(workload::profile(name), tid++, 7);
+    }
+    return std::pair{cfg, std::move(programs)};
+  };
+
+  Table t({"configuration", "IPC", "switches"});
+  for (const bool adts : {false, true}) {
+    auto [cfg, programs] = build(adts);
+    pipeline::Pipeline pipe(cfg.machine, std::move(programs));
+    core::DetectorThread dt(cfg.adts);
+    const std::uint64_t warm = 32768;
+    const std::uint64_t measure = 24 * 8192;
+    auto run = [&](std::uint64_t n) {
+      for (std::uint64_t c = 0; c < n; ++c) {
+        pipe.step();
+        if (adts) dt.tick(pipe);
+      }
+    };
+    run(warm);
+    const std::uint64_t committed0 = pipe.committed_total();
+    run(measure);
+    const double ipc =
+        static_cast<double>(pipe.committed_total() - committed0) /
+        static_cast<double>(measure);
+    t.add_row({adts ? "ADTS (Type 3, m=2)" : "fixed ICOUNT",
+               Table::num(ipc), std::to_string(dt.stats().switches)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n(The custom profile is 4 of 8 contexts; its phase flips"
+               " between branchy and memory-bound every ~6K instructions,"
+               " which is what gives the adaptive scheduler traction.)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Policy explorer: run every fixed fetch policy of Table 1 on a chosen
+// mix and thread count, and print the resulting throughput ordering —
+// the experiment that motivates the whole paper (no single policy wins
+// everywhere).
+//
+//   ./policy_explorer [mix] [threads]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "workload/mix.hpp"
+
+int main(int argc, char** argv) {
+  const std::string mix_name = argc > 1 ? argv[1] : "int8";
+  const std::size_t threads = argc > 2 ? std::strtoul(argv[2], nullptr, 10)
+                                       : 8;
+
+  const smt::workload::Mix& mix = smt::workload::mix(mix_name);
+  smt::sim::ExperimentScale scale = smt::sim::ExperimentScale::from_env();
+
+  std::cout << "mix " << mix.name << " at " << threads << " threads ("
+            << scale.plan.intervals << " interval(s) x "
+            << scale.plan.measure_cycles << " cycles)\n";
+
+  struct Row {
+    smt::policy::FetchPolicy policy;
+    double ipc;
+  };
+  std::vector<Row> rows;
+  for (smt::policy::FetchPolicy p : smt::policy::all_policies()) {
+    const smt::sim::SampleResult r =
+        smt::sim::run_fixed(mix, p, threads, scale);
+    rows.push_back({p, r.ipc()});
+  }
+
+  double best = 0;
+  for (const Row& r : rows) best = std::max(best, r.ipc);
+
+  smt::Table t({"policy", "aggregate IPC", "vs best"});
+  for (const Row& r : rows) {
+    t.add_row({std::string(smt::policy::name(r.policy)),
+               smt::Table::num(r.ipc),
+               smt::Table::num(100.0 * (r.ipc / best - 1.0), 1) + "%"});
+  }
+  t.print(std::cout);
+  return 0;
+}

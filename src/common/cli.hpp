@@ -1,0 +1,57 @@
+// Minimal command-line option parser for the tools and examples.
+//
+// Supports --key=value, --key value, and bare --flag forms; collects
+// positional arguments; reports unknown keys. No external dependencies,
+// value-semantic, and strict (throws on malformed input) so tools fail
+// loudly instead of silently ignoring a typo'd option.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smt {
+
+class CliArgs {
+ public:
+  /// Parse argv. `known_keys` lists every accepted --key; an argument
+  /// with an unknown key throws std::invalid_argument. Keys also listed
+  /// in `flag_keys` take no value, so "--flag positional" keeps the
+  /// positional argument (otherwise "--key value" consumes it).
+  CliArgs(int argc, const char* const* argv,
+          std::vector<std::string> known_keys,
+          std::vector<std::string> flag_keys = {});
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Value of --key; empty for bare flags; nullopt when absent.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   std::string fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program_name() const noexcept {
+    return program_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Split a comma-separated list ("gzip,mcf,swim") into tokens; empty
+/// tokens are dropped.
+[[nodiscard]] std::vector<std::string> split_list(const std::string& csv);
+
+}  // namespace smt

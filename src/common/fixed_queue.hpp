@@ -1,0 +1,97 @@
+// Fixed-capacity circular queue.
+//
+// The pipeline's per-thread structures (fetch buffer, ROB, LSQ) are all
+// bounded by the machine configuration and live on the hot path, so they
+// use this allocation-free ring buffer instead of std::deque. Capacity is
+// a runtime construction parameter (machine config), storage is a single
+// std::vector sized once; the container is value-semantic so simulator
+// snapshots copy it correctly.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace smt {
+
+template <typename T>
+class FixedQueue {
+ public:
+  FixedQueue() = default;
+
+  explicit FixedQueue(std::size_t capacity)
+      : storage_(capacity == 0 ? 1 : capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == storage_.size(); }
+
+  /// Push to the tail. Precondition: !full().
+  void push_back(T value) {
+    assert(!full());
+    storage_[index(size_)] = std::move(value);
+    ++size_;
+  }
+
+  /// Pop from the head. Precondition: !empty().
+  T pop_front() {
+    assert(!empty());
+    T value = std::move(storage_[head_]);
+    head_ = (head_ + 1) % storage_.size();
+    --size_;
+    return value;
+  }
+
+  /// Drop the newest element (used when squashing wrong-path instructions
+  /// from the tail of a ROB). Precondition: !empty().
+  void pop_back() {
+    assert(!empty());
+    --size_;
+  }
+
+  [[nodiscard]] T& front() {
+    assert(!empty());
+    return storage_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return storage_[head_];
+  }
+
+  [[nodiscard]] T& back() {
+    assert(!empty());
+    return storage_[index(size_ - 1)];
+  }
+  [[nodiscard]] const T& back() const {
+    assert(!empty());
+    return storage_[index(size_ - 1)];
+  }
+
+  /// i == 0 is the head (oldest).
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return storage_[index(i)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return storage_[index(i)];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t logical) const noexcept {
+    return (head_ + logical) % storage_.size();
+  }
+
+  std::vector<T> storage_{};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace smt

@@ -1,0 +1,16 @@
+#include "common/rng.hpp"
+
+namespace smt {
+
+Rng make_stream(std::uint64_t master_seed,
+                std::initializer_list<std::uint64_t> path) {
+  std::uint64_t acc = mix64(master_seed);
+  for (std::uint64_t component : path) {
+    // Feed each path component through the mixer with a distinct odd
+    // multiplier so {1, 2} and {2, 1} land on different streams.
+    acc = mix64(acc * 0xd1342543de82ef95ULL + component + 1);
+  }
+  return Rng(acc);
+}
+
+}  // namespace smt

@@ -1,0 +1,155 @@
+// Deterministic random number generation for the simulator.
+//
+// Everything in the simulator that needs randomness draws from an explicit
+// Rng instance seeded from the run configuration, never from global state.
+// This is what makes simulator snapshots exact: copying a component copies
+// its RNG stream, so a copied simulator replays identically — the property
+// the oracle scheduler (sim/oracle.hpp) relies on.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 as its authors recommend. It is small (4 x u64, trivially
+// copyable), fast, and of far higher quality than the simulator needs.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <limits>
+
+namespace smt {
+
+/// SplitMix64 step: used to expand a single 64-bit seed into a full
+/// xoshiro state, and available directly for cheap hash-like mixing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One-shot 64-bit mixer; handy for deriving per-thread / per-site seeds
+/// from a master seed without correlation between the streams.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** pseudo-random generator.
+///
+/// Value-semantic: copying an Rng copies the stream position. Satisfies
+/// the UniformRandomBitGenerator concept so it can be used with <random>
+/// distributions, though the member helpers below cover the simulator's
+/// needs without the libstdc++ distribution objects (whose state is not
+/// guaranteed portable across implementations).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  Rng() : Rng(0xdeadbeefcafef00dULL) {}
+
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  /// Raw 64 random bits.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  /// Uses Lemire's multiply-shift reduction (bias is negligible for the
+  /// bounds the simulator uses, all far below 2^32).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Geometric distribution on {1, 2, ...} with mean `mean` (mean >= 1).
+  /// Used for register-dependency distances in the workload generator.
+  std::uint64_t geometric(double mean) noexcept {
+    if (mean <= 1.0) return 1;
+    const double p = 1.0 / mean;
+    std::uint64_t k = 1;
+    // Direct inversion would need a log(); the workload generator calls
+    // this with small means, so trial-based sampling is cheaper and
+    // branch-predictable.
+    while (!chance(p) && k < 64) ++k;
+    return k;
+  }
+
+  /// Zipf-like pick over n items: item i chosen with weight 1/(i+1)^s.
+  /// Cheap approximate sampler (rejection over the harmonic envelope);
+  /// used to pick hot branch sites / hot cache lines.
+  std::uint64_t zipf(std::uint64_t n, double s = 1.0) noexcept {
+    if (n <= 1) return 0;
+    // Inverse-power transform of a uniform variate: biased toward 0 in a
+    // Zipf-ish way, adequate for locality modelling (we need skew, not a
+    // mathematically exact Zipf law).
+    const double u = uniform();
+    const double x = 1.0 - u;  // avoid pow(0, ...)
+    const double skew = 1.0 / (1.0 + s);
+    const auto idx =
+        static_cast<std::uint64_t>((1.0 - std::pow(x, skew)) * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+  /// Derive an independent child stream. Consumes one draw from this
+  /// stream and mixes in `salt` so the children of consecutive calls and
+  /// the children of equal salts are decorrelated.
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept {
+    return Rng(mix64(next() ^ mix64(salt * 0x9e3779b97f4a7c15ULL + 1)));
+  }
+
+  friend bool operator==(const Rng& a, const Rng& b) noexcept {
+    return a.state_ == b.state_;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Build a named sub-stream of a master seed. Every component of the
+/// simulator gets its stream as make_stream(seed, {kComponentTag, index,
+/// ...}), so adding a component never perturbs the streams of existing
+/// ones (no draw-order coupling between components).
+[[nodiscard]] Rng make_stream(std::uint64_t master_seed,
+                              std::initializer_list<std::uint64_t> path);
+
+}  // namespace smt

@@ -1,0 +1,43 @@
+// Plain-text table printer for the benchmark harnesses.
+//
+// Every figure/table reproduction bench prints its series through this so
+// the output is aligned, diff-able, and optionally machine-readable (CSV).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; it may have fewer cells than there are headers (the
+  /// remainder prints blank) but not more.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Render with aligned columns and a header underline.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("== Figure 7a: ... ==") used between the
+/// sub-plots of a multi-panel figure bench.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace smt

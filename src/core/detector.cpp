@@ -1,0 +1,172 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smt::core {
+
+DetectorThread::DetectorThread(const AdtsConfig& cfg) : cfg_(cfg) {
+  if (cfg.quantum_cycles == 0) {
+    throw std::invalid_argument("AdtsConfig: quantum_cycles must be > 0");
+  }
+}
+
+void DetectorThread::arm(const pipeline::Pipeline& pipe) {
+  committed_at_quantum_start_ = pipe.committed_total();
+  ipc_last_ = 0.0;
+  ipc_prev_ = 0.0;
+  decision_pending_ = false;
+  switch_unscored_ = false;
+}
+
+void DetectorThread::tick(pipeline::Pipeline& pipe) {
+  // Apply a pending switch as soon as the DT's decision routine has
+  // drained through idle fetch slots.
+  if (decision_pending_ && pipe.dt_work_remaining() == 0) {
+    decision_pending_ = false;
+    if (pending_policy_ != pipe.policy()) {
+      pipe.set_policy(pending_policy_);
+      ++stats_.switches;
+      switch_unscored_ = true;
+    }
+  }
+
+  if (pipe.now() > 0 && pipe.now() % cfg_.quantum_cycles == 0) {
+    on_quantum_boundary(pipe);
+  }
+}
+
+void DetectorThread::on_quantum_boundary(pipeline::Pipeline& pipe) {
+  ++stats_.quanta;
+  stats_.quanta_per_policy[static_cast<std::size_t>(pipe.policy())] += 1;
+
+  const std::uint64_t committed =
+      pipe.committed_total() - committed_at_quantum_start_;
+  committed_at_quantum_start_ = pipe.committed_total();
+  ipc_prev_ = ipc_last_;
+  ipc_last_ =
+      static_cast<double>(committed) / static_cast<double>(cfg_.quantum_cycles);
+
+  // Score the switch applied during the previous quantum: benign iff the
+  // quantum that just ended out-performed the one that triggered it.
+  if (switch_unscored_) {
+    const bool benign = ipc_last_ > ipc_before_switch_;
+    if (benign) {
+      ++stats_.benign_switches;
+    } else {
+      ++stats_.malignant_switches;
+    }
+    history_.record(switch_incumbent_, switch_cond_value_, benign);
+    switch_unscored_ = false;
+  }
+
+  // A decision still pending from the previous quantum means the DT never
+  // found enough idle slots to finish Determine_NewPolicy: the pipeline
+  // was saturated, drop the stale decision (paper §3).
+  if (decision_pending_) {
+    decision_pending_ = false;
+    ++stats_.switches_skipped_dt_busy;
+  }
+
+  // Monitoring cost: the per-quantum counter scan.
+  if (!cfg_.instant_switch) pipe.add_dt_work(cfg_.dt_check_instrs);
+
+  // Machine-wide condition rates: pooled across threads.
+  pipeline::QuantumRates machine{};
+  for (std::uint32_t tid = 0; tid < pipe.num_threads(); ++tid) {
+    const pipeline::QuantumRates r =
+        rates_for_quantum(pipe.counters(tid), cfg_.quantum_cycles);
+    machine.ipc += r.ipc;
+    machine.cond_branches_per_cycle += r.cond_branches_per_cycle;
+    machine.mispredicts_per_cycle += r.mispredicts_per_cycle;
+    machine.l1_misses_per_cycle += r.l1_misses_per_cycle;
+    machine.lsq_full_per_cycle += r.lsq_full_per_cycle;
+  }
+
+  // Effective thresholds: static calibration, or the profiled running
+  // mean (compared against the EWMA *excluding* this quantum, so a spike
+  // is judged against history, then folded in).
+  ConditionThresholds thresholds = cfg_.conditions;
+  if (cfg_.adaptive_conditions) {
+    if (!ewma_primed_) {
+      ewma_ = machine;
+      ewma_primed_ = true;
+    }
+    thresholds.l1_miss_per_cycle =
+        cfg_.adaptive_factor * ewma_.l1_misses_per_cycle;
+    thresholds.lsq_full_per_cycle =
+        cfg_.adaptive_factor * ewma_.lsq_full_per_cycle;
+    thresholds.mispredict_per_cycle =
+        cfg_.adaptive_factor * ewma_.mispredicts_per_cycle;
+    thresholds.cond_branch_per_cycle =
+        cfg_.adaptive_factor * ewma_.cond_branches_per_cycle;
+    const double a = cfg_.adaptive_alpha;
+    ewma_.l1_misses_per_cycle = (1 - a) * ewma_.l1_misses_per_cycle +
+                                a * machine.l1_misses_per_cycle;
+    ewma_.lsq_full_per_cycle =
+        (1 - a) * ewma_.lsq_full_per_cycle + a * machine.lsq_full_per_cycle;
+    ewma_.mispredicts_per_cycle = (1 - a) * ewma_.mispredicts_per_cycle +
+                                  a * machine.mispredicts_per_cycle;
+    ewma_.cond_branches_per_cycle =
+        (1 - a) * ewma_.cond_branches_per_cycle +
+        a * machine.cond_branches_per_cycle;
+  }
+
+  const bool low_throughput = ipc_last_ < cfg_.ipc_threshold;
+  if (low_throughput) {
+    ++stats_.low_throughput_quanta;
+
+    identify_clogging_threads(pipe);
+
+    const SystemConditions conds = evaluate_conditions(machine, thresholds);
+
+    const std::optional<Decision> d = determine_next_policy(
+        cfg_.heuristic, pipe.policy(), conds, ipc_last_, ipc_prev_,
+        &history_);
+    if (d.has_value() && d->next != pipe.policy()) {
+      if (d->reversed) ++stats_.switches_reversed;
+      // Remember the context for outcome scoring / history recording.
+      ipc_before_switch_ = ipc_last_;
+      switch_incumbent_ = pipe.policy();
+      switch_cond_value_ = d->cond_value;
+
+      if (cfg_.instant_switch) {
+        pipe.set_policy(d->next);
+        ++stats_.switches;
+        switch_unscored_ = true;
+      } else {
+        pending_policy_ = d->next;
+        decision_pending_ = true;
+        pipe.add_dt_work(cfg_.dt_decide_instrs);
+      }
+    }
+  }
+
+  pipe.reset_quantum_counters();
+}
+
+void DetectorThread::identify_clogging_threads(pipeline::Pipeline& pipe) {
+  clogging_.clear();
+  std::int64_t total_icount = 0;
+  for (std::uint32_t tid = 0; tid < pipe.num_threads(); ++tid) {
+    total_icount += pipe.counters(tid).icount;
+  }
+  if (total_icount <= 0) return;
+  for (std::uint32_t tid = 0; tid < pipe.num_threads(); ++tid) {
+    const double share = static_cast<double>(pipe.counters(tid).icount) /
+                         static_cast<double>(total_icount);
+    if (share > cfg_.clog_icount_share) {
+      clogging_.push_back(tid);
+      if (std::find(clog_marks_.begin(), clog_marks_.end(), tid) ==
+          clog_marks_.end()) {
+        clog_marks_.push_back(tid);
+      }
+      ++stats_.clog_flags;
+      if (cfg_.enable_clog_control) {
+        pipe.block_fetch(tid, pipe.now() + cfg_.clog_block_cycles);
+      }
+    }
+  }
+}
+
+}  // namespace smt::core

@@ -1,0 +1,33 @@
+#include "core/history.hpp"
+
+namespace smt::core {
+
+std::size_t SwitchHistory::index(policy::FetchPolicy p, bool cond) {
+  return static_cast<std::size_t>(p) * 2 + (cond ? 1 : 0);
+}
+
+void SwitchHistory::record(policy::FetchPolicy incumbent, bool cond,
+                           bool positive) {
+  SwitchOutcomeCounts& c = counts_[index(incumbent, cond)];
+  if (positive) {
+    ++c.poscnt;
+  } else {
+    ++c.negcnt;
+  }
+}
+
+const SwitchOutcomeCounts& SwitchHistory::counts(policy::FetchPolicy incumbent,
+                                                 bool cond) const {
+  return counts_[index(incumbent, cond)];
+}
+
+bool SwitchHistory::regular_transition(policy::FetchPolicy incumbent,
+                                       bool cond) const {
+  const SwitchOutcomeCounts& c = counts_[index(incumbent, cond)];
+  if (c.poscnt == 0 && c.negcnt == 0) return true;
+  return c.poscnt > c.negcnt;
+}
+
+void SwitchHistory::clear() { counts_ = {}; }
+
+}  // namespace smt::core

@@ -1,0 +1,112 @@
+#include "mem/cache.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace smt::mem {
+
+namespace {
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+}  // namespace
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (cfg.line_bytes == 0 || !is_pow2(cfg.line_bytes)) {
+    throw std::invalid_argument(cfg.name + ": line size must be a power of 2");
+  }
+  if (cfg.ways == 0) {
+    throw std::invalid_argument(cfg.name + ": ways must be >= 1");
+  }
+  sets_ = cfg.num_sets();
+  if (sets_ == 0 || !is_pow2(sets_)) {
+    throw std::invalid_argument(cfg.name +
+                                ": size/(line*ways) must be a power of 2");
+  }
+  lines_.assign(sets_ * cfg.ways, Line{});
+}
+
+std::uint64_t Cache::set_index(std::uint64_t addr) const noexcept {
+  return (addr / cfg_.line_bytes) & (sets_ - 1);
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t addr) const noexcept {
+  return (addr / cfg_.line_bytes) / sets_;
+}
+
+bool Cache::access(std::uint64_t addr, bool write) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* const base = &lines_[set * cfg_.ways];
+
+  // Hit path: bump recency.
+  std::uint32_t max_lru = 0;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    max_lru = std::max(max_lru, base[w].lru);
+  }
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = max_lru + 1;
+      line.dirty = line.dirty || write;
+      ++hits_;
+      normalize_if_needed(base, max_lru + 1);
+      return true;
+    }
+  }
+
+  // Miss: fill into an invalid way, else evict the LRU way.
+  ++misses_;
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = base;
+    for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+      if (base[w].lru < victim->lru) victim = &base[w];
+    }
+    ++evictions_;
+    if (victim->dirty) ++dirty_evictions_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = write;
+  victim->lru = max_lru + 1;
+  normalize_if_needed(base, max_lru + 1);
+  return false;
+}
+
+void Cache::normalize_if_needed(Line* base, std::uint32_t new_max) {
+  // Recency counters are per-set and monotonically increasing; rebase the
+  // set when the counter nears overflow (rare: every ~4G accesses to one
+  // set).
+  if (new_max < std::numeric_limits<std::uint32_t>::max() - 2) return;
+  std::uint32_t min_lru = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid) min_lru = std::min(min_lru, base[w].lru);
+  }
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid) base[w].lru -= min_lru;
+  }
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* const base = &lines_[set * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::clear() {
+  lines_.assign(lines_.size(), Line{});
+  hits_ = misses_ = evictions_ = dirty_evictions_ = 0;
+}
+
+}  // namespace smt::mem

@@ -1,0 +1,78 @@
+// Set-associative cache model with true-LRU replacement.
+//
+// Tag-only (no data payloads): a lookup reports hit/miss and updates
+// recency; a miss fills the line, evicting the LRU way. The model is
+// shared by L1I, L1D and the unified L2. It is value-semantic so
+// simulator snapshots copy the full cache state — required for the oracle
+// scheduler's exact quantum re-runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smt::mem {
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t ways = 4;
+
+  [[nodiscard]] std::uint64_t num_sets() const noexcept {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) * ways);
+  }
+};
+
+class Cache {
+ public:
+  Cache() : Cache(CacheConfig{}) {}
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Access `addr`; returns true on hit. On miss the line is filled
+  /// (evicting LRU). `write` marks the installed/updated line dirty;
+  /// dirtiness only feeds the writeback statistics — latency of
+  /// writebacks is folded into the miss latency by the hierarchy.
+  bool access(std::uint64_t addr, bool write);
+
+  /// Probe without changing any state (for tests and occupancy queries).
+  [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  void clear();
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::uint64_t dirty_evictions() const noexcept {
+    return dirty_evictions_;
+  }
+  [[nodiscard]] double miss_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) / static_cast<double>(total)
+                 : 0.0;
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint32_t lru = 0;  ///< higher = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const noexcept;
+  void normalize_if_needed(Line* base, std::uint32_t new_max);
+
+  CacheConfig cfg_;
+  std::uint64_t sets_ = 1;
+  std::vector<Line> lines_;  ///< sets_ * ways, set-major
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t dirty_evictions_ = 0;
+};
+
+}  // namespace smt::mem

@@ -1,0 +1,20 @@
+#include "pipeline/counters.hpp"
+
+namespace smt::pipeline {
+
+QuantumRates rates_for_quantum(const ThreadCounters& c,
+                               std::uint64_t quantum_cycles) noexcept {
+  QuantumRates r;
+  if (quantum_cycles == 0) return r;
+  const auto q = static_cast<double>(quantum_cycles);
+  r.ipc = static_cast<double>(c.committed_quantum) / q;
+  r.cond_branches_per_cycle =
+      static_cast<double>(c.cond_branches_quantum) / q;
+  r.mispredicts_per_cycle = static_cast<double>(c.mispredicts_quantum) / q;
+  r.l1_misses_per_cycle =
+      static_cast<double>(c.l1d_misses_quantum + c.l1i_misses_quantum) / q;
+  r.lsq_full_per_cycle = static_cast<double>(c.lsq_full_events_quantum) / q;
+  return r;
+}
+
+}  // namespace smt::pipeline

@@ -1,0 +1,87 @@
+// Per-thread hardware status indicators.
+//
+// These are the counters "updated by circuitry located throughout the
+// processor pipeline" (paper §3) that both the fetch policies and the
+// detector thread read. Two kinds live here:
+//
+//  * occupancy counters — how much of each pipeline resource the thread
+//    holds *right now* (instructions in the front end/IQ, unresolved
+//    branches, loads, outstanding cache misses). These drive the fetch
+//    policies.
+//  * quantum accumulators — event counts over the current scheduling
+//    quantum (committed instructions, conditional branches, mispredicts,
+//    L1 misses, LSQ-full events, stalls). These drive the ADTS
+//    low-throughput detection and the COND_MEM / COND_BR conditions, and
+//    are reset by the detector thread at each quantum boundary.
+#pragma once
+
+#include <cstdint>
+
+namespace smt::pipeline {
+
+struct ThreadCounters {
+  // ---- occupancy (incremented/decremented as instructions move) -------
+  /// Instructions in the decode/rename stages and the instruction queues.
+  /// Memory instructions count until they *complete* (they occupy a
+  /// load/store-queue entry while outstanding — Tullsen's ICOUNT counts
+  /// "the instruction queues", plural, which include the LQ/SQ); other
+  /// classes leave at issue.
+  std::int32_t icount = 0;
+  std::int32_t brcount = 0;       ///< unresolved branches in the pipeline
+  std::int32_t ldcount = 0;       ///< loads in the pipeline
+  std::int32_t memcount = 0;      ///< loads + stores in the pipeline
+  std::int32_t l1d_outstanding = 0;  ///< in-flight loads that missed L1D
+  std::int32_t l1i_outstanding = 0;  ///< 1 while fetch is stalled on an I-miss
+
+  // ---- lifetime accumulators ------------------------------------------
+  std::uint64_t committed_total = 0;
+  std::uint64_t cycles_seen = 0;  ///< cycles this thread has been resident
+
+  // ---- quantum accumulators (reset each scheduling quantum) -----------
+  std::uint64_t committed_quantum = 0;
+  std::uint64_t cond_branches_quantum = 0;   ///< committed conditional branches
+  std::uint64_t mispredicts_quantum = 0;     ///< resolved mispredictions
+  std::uint64_t l1d_misses_quantum = 0;
+  std::uint64_t l1i_misses_quantum = 0;
+  std::uint64_t lsq_full_events_quantum = 0; ///< dispatch blocked on full LSQ
+  std::uint64_t stalls_quantum = 0;          ///< cycles this thread couldn't fetch
+  std::uint64_t wrong_path_fetched_quantum = 0;
+
+  /// Accumulated IPC since the thread was loaded (ACCIPC policy).
+  [[nodiscard]] double acc_ipc() const noexcept {
+    return cycles_seen ? static_cast<double>(committed_total) /
+                             static_cast<double>(cycles_seen)
+                       : 0.0;
+  }
+
+  /// Outstanding L1 misses of both kinds (L1MISSCOUNT policy).
+  [[nodiscard]] std::int32_t l1_outstanding() const noexcept {
+    return l1d_outstanding + l1i_outstanding;
+  }
+
+  void reset_quantum() noexcept {
+    committed_quantum = 0;
+    cond_branches_quantum = 0;
+    mispredicts_quantum = 0;
+    l1d_misses_quantum = 0;
+    l1i_misses_quantum = 0;
+    lsq_full_events_quantum = 0;
+    stalls_quantum = 0;
+    wrong_path_fetched_quantum = 0;
+  }
+};
+
+/// Snapshot of one thread's quantum accumulators, normalised per cycle —
+/// the view the detector thread's heuristics consume (core/heuristics.hpp).
+struct QuantumRates {
+  double ipc = 0.0;
+  double cond_branches_per_cycle = 0.0;
+  double mispredicts_per_cycle = 0.0;
+  double l1_misses_per_cycle = 0.0;
+  double lsq_full_per_cycle = 0.0;
+};
+
+[[nodiscard]] QuantumRates rates_for_quantum(const ThreadCounters& c,
+                                             std::uint64_t quantum_cycles) noexcept;
+
+}  // namespace smt::pipeline

@@ -1,0 +1,735 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace smt::pipeline {
+
+namespace {
+
+[[nodiscard]] bool has_dst_reg(isa::InstrClass c) noexcept {
+  using isa::InstrClass;
+  switch (c) {
+    case InstrClass::kIntAlu:
+    case InstrClass::kIntMul:
+    case InstrClass::kIntDiv:
+    case InstrClass::kFpAdd:
+    case InstrClass::kFpMul:
+    case InstrClass::kFpDiv:
+    case InstrClass::kLoad:
+      return true;
+    case InstrClass::kStore:
+    case InstrClass::kBranch:
+    case InstrClass::kSyscall:
+      return false;
+  }
+  return false;
+}
+
+/// Depth to scan the in-flight window for store→load forwarding.
+constexpr std::uint64_t kForwardScanDepth = 16;
+
+}  // namespace
+
+Pipeline::Pipeline(const PipelineConfig& cfg,
+                   std::vector<workload::ThreadProgram> programs)
+    : cfg_(cfg),
+      mem_(cfg.memory),
+      bp_(cfg.predictor),
+      int_rename_free_(cfg.int_rename_regs),
+      fp_rename_free_(cfg.fp_rename_regs),
+      completion_(kCompletionRing) {
+  if (programs.empty()) {
+    throw std::invalid_argument("Pipeline: needs at least one program");
+  }
+  if (programs.size() + 1 > cfg.memory.max_threads ||
+      programs.size() + 1 > cfg.predictor.max_threads) {
+    throw std::invalid_argument(
+        "Pipeline: thread count exceeds memory/predictor configuration");
+  }
+  if (cfg.memory.mem_latency + cfg.lat_int_div + 2 >= kCompletionRing) {
+    throw std::invalid_argument("Pipeline: latency exceeds completion ring");
+  }
+  threads_.reserve(programs.size());
+  for (auto& prog : programs) {
+    Thread t;
+    t.program = std::move(prog);
+    t.window = FixedQueue<DynInstr>(cfg.rob_per_thread);
+    t.replay = FixedQueue<isa::Instruction>(cfg.rob_per_thread + cfg.fetch_width);
+    threads_.push_back(std::move(t));
+  }
+  int_iq_.reserve(cfg.int_iq_size);
+  fp_iq_.reserve(cfg.fp_iq_size);
+  dispatch_fifo_ = FixedQueue<InstrRef>(
+      threads_.size() * cfg.fetch_buffer_cap + cfg.fetch_width);
+}
+
+Pipeline::DynInstr& Pipeline::instr_at(std::uint32_t tid, std::uint64_t seq) {
+  Thread& t = threads_[tid];
+  assert(seq >= t.head_seq && seq < t.head_seq + t.window.size());
+  return t.window[static_cast<std::size_t>(seq - t.head_seq)];
+}
+
+const Pipeline::DynInstr& Pipeline::instr_at(std::uint32_t tid,
+                                             std::uint64_t seq) const {
+  const Thread& t = threads_[tid];
+  assert(seq >= t.head_seq && seq < t.head_seq + t.window.size());
+  return t.window[static_cast<std::size_t>(seq - t.head_seq)];
+}
+
+void Pipeline::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+void Pipeline::step() {
+  do_commit();
+  do_complete();
+  do_issue();
+  do_dispatch();
+  do_fetch();
+
+  for (Thread& t : threads_) ++t.counters.cycles_seen;
+  ++stats_.cycles;
+  ++cycle_;
+}
+
+// ---------------------------------------------------------------------------
+// Commit: per-thread in-order retirement, shared bandwidth, rotating start.
+// ---------------------------------------------------------------------------
+void Pipeline::do_commit() {
+  std::uint32_t budget = cfg_.commit_width;
+  const std::uint32_t n = num_threads();
+  for (std::uint32_t i = 0; i < n && budget > 0; ++i) {
+    const std::uint32_t tid = static_cast<std::uint32_t>((cycle_ + i) % n);
+    Thread& t = threads_[tid];
+    while (budget > 0 && !t.window.empty()) {
+      DynInstr& head = t.window.front();
+      if (head.state != DynInstr::State::kDone) break;
+      assert(!head.wrong_path && "wrong-path instruction reached commit");
+
+      const bool is_syscall = head.si.cls == isa::InstrClass::kSyscall;
+      release_instr_resources(tid, head, /*completed_ok=*/true);
+      ++t.counters.committed_total;
+      ++t.counters.committed_quantum;
+      ++stats_.committed;
+      --budget;
+      t.window.pop_front();
+      ++t.head_seq;
+      if (is_syscall) {
+        syscall_flush(tid);
+        break;  // the whole machine just drained
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Complete: retire execution results scheduled for this cycle; resolve
+// branches, trigger mispredict squashes.
+// ---------------------------------------------------------------------------
+void Pipeline::do_complete() {
+  auto& slot = completion_[cycle_ % kCompletionRing];
+  for (const InstrRef& ref : slot) {
+    Thread& t = threads_[ref.tid];
+    // Stale-reference checks: the instruction may have been squashed (and
+    // its seq reused by a later fetch).
+    if (ref.seq < t.head_seq || ref.seq >= t.head_seq + t.window.size()) {
+      continue;
+    }
+    DynInstr& d = instr_at(ref.tid, ref.seq);
+    if (d.uid != ref.uid || d.state != DynInstr::State::kIssued) continue;
+
+    d.state = DynInstr::State::kDone;
+    ThreadCounters& c = t.counters;
+    if (d.si.cls == isa::InstrClass::kLoad) {
+      --c.icount;  // leaves the load queue
+      --c.ldcount;
+      --c.memcount;
+      if (d.counted_l1d_outstanding) {
+        --c.l1d_outstanding;
+        d.counted_l1d_outstanding = false;
+      }
+    } else if (d.si.cls == isa::InstrClass::kStore) {
+      --c.icount;  // leaves the store queue
+      --c.memcount;
+    } else if (d.si.cls == isa::InstrClass::kBranch) {
+      --c.brcount;
+      if (!d.wrong_path) {
+        ++stats_.branches_resolved;
+        ++c.cond_branches_quantum;
+        bp_.update(ref.tid, d.si.pc, d.si.taken, d.si.branch_target,
+                   d.mispredicted);
+        if (d.mispredicted) {
+          ++stats_.mispredicts;
+          ++c.mispredicts_quantum;
+          squash_from(ref.tid, d.seq + 1, /*replay_correct_path=*/false);
+          t.wrong_path_mode = false;
+          t.fetch_stall_until =
+              std::max<std::uint64_t>(t.fetch_stall_until,
+                                      cycle_ + cfg_.mispredict_penalty);
+        }
+      }
+    }
+  }
+  slot.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Issue: oldest-first over both queues, FU and width constraints.
+// ---------------------------------------------------------------------------
+bool Pipeline::deps_ready(const Thread& t, const DynInstr& d) const {
+  for (const std::uint16_t dep : {d.si.dep1, d.si.dep2}) {
+    if (dep == 0) continue;
+    if (dep > d.seq) continue;  // predates the stream: architected value
+    const std::uint64_t pseq = d.seq - dep;
+    if (pseq < t.head_seq) continue;  // producer already committed
+    const DynInstr& p =
+        t.window[static_cast<std::size_t>(pseq - t.head_seq)];
+    if (p.state != DynInstr::State::kDone) return false;
+  }
+  return true;
+}
+
+std::uint32_t Pipeline::load_latency(std::uint32_t tid, Thread& t,
+                                     const DynInstr& d) {
+  // Store→load forwarding from the in-flight window (bounded scan).
+  const std::uint64_t limit = std::min<std::uint64_t>(
+      kForwardScanDepth, d.seq > t.head_seq ? d.seq - t.head_seq : 0);
+  for (std::uint64_t k = 1; k <= limit; ++k) {
+    const DynInstr& older =
+        t.window[static_cast<std::size_t>(d.seq - k - t.head_seq)];
+    if (older.si.cls == isa::InstrClass::kStore &&
+        older.si.mem_addr == d.si.mem_addr) {
+      return cfg_.lat_int_alu;  // forwarded: ALU-like latency
+    }
+  }
+  const mem::AccessResult r =
+      mem_.lookup_data(tid, d.si.mem_addr, /*write=*/false);
+  if (r.l1_miss) {
+    ++t.counters.l1d_misses_quantum;
+  }
+  return r.latency;
+}
+
+void Pipeline::do_issue() {
+  std::uint32_t total = cfg_.issue_width;
+  std::uint32_t int_budget = cfg_.int_alus;
+  std::uint32_t mem_budget = cfg_.mem_ports;
+  std::uint32_t fp_budget = cfg_.fp_units;
+
+  // Merge the two age-ordered queues oldest-first.
+  std::size_t ii = 0;
+  std::size_t fi = 0;
+  // Indices issued this cycle, per queue, for compaction afterwards.
+  std::vector<std::size_t> int_issued;
+  std::vector<std::size_t> fp_issued;
+
+  while (total > 0 && (ii < int_iq_.size() || fi < fp_iq_.size())) {
+    const bool take_int =
+        fi >= fp_iq_.size() ||
+        (ii < int_iq_.size() &&
+         instr_at(int_iq_[ii].tid, int_iq_[ii].seq).age <
+             instr_at(fp_iq_[fi].tid, fp_iq_[fi].seq).age);
+
+    const InstrRef ref = take_int ? int_iq_[ii] : fp_iq_[fi];
+    const std::size_t qidx = take_int ? ii : fi;
+    if (take_int) ++ii; else ++fi;
+
+    Thread& t = threads_[ref.tid];
+    DynInstr& d = instr_at(ref.tid, ref.seq);
+    assert(d.uid == ref.uid && d.state == DynInstr::State::kQueued);
+
+    // FU availability for this class.
+    const bool is_mem = isa::is_mem(d.si.cls);
+    if (take_int) {
+      if (int_budget == 0) continue;
+      if (is_mem && mem_budget == 0) continue;
+    } else {
+      if (fp_budget == 0) continue;
+    }
+    if (!deps_ready(t, d)) continue;
+
+    // Issue it.
+    std::uint32_t latency = cfg_.latency_for(d.si.cls);
+    if (d.si.cls == isa::InstrClass::kLoad) {
+      latency = load_latency(ref.tid, t, d);
+      if (latency > cfg_.memory.l1_latency) {
+        ++t.counters.l1d_outstanding;
+        d.counted_l1d_outstanding = true;
+      }
+    } else if (d.si.cls == isa::InstrClass::kStore) {
+      // Stores retire into the store buffer; the cache access happens now
+      // for state/statistics, but the latency is off the critical path.
+      const mem::AccessResult r =
+          mem_.lookup_data(ref.tid, d.si.mem_addr, /*write=*/true);
+      if (r.l1_miss) ++t.counters.l1d_misses_quantum;
+      latency = cfg_.lat_int_alu;
+    }
+
+    d.state = DynInstr::State::kIssued;
+    d.done_cycle = cycle_ + latency;
+    if (!is_mem) --t.counters.icount;  // mem ops stay in the LQ/SQ
+    completion_[d.done_cycle % kCompletionRing].push_back(ref);
+
+    --total;
+    if (take_int) {
+      --int_budget;
+      if (is_mem) --mem_budget;
+      int_issued.push_back(qidx);
+    } else {
+      --fp_budget;
+      fp_issued.push_back(qidx);
+    }
+  }
+
+  // Compact the queues (indices are ascending).
+  auto compact = [](std::vector<InstrRef>& q, const std::vector<std::size_t>& gone) {
+    if (gone.empty()) return;
+    std::size_t g = 0;
+    std::size_t out = 0;
+    for (std::size_t in = 0; in < q.size(); ++in) {
+      if (g < gone.size() && gone[g] == in) {
+        ++g;
+        continue;
+      }
+      q[out++] = q[in];
+    }
+    q.resize(out);
+  };
+  compact(int_iq_, int_issued);
+  compact(fp_iq_, fp_issued);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: global fetch-order FIFO → instruction queues, head-of-line
+// blocking on IQ / LSQ / renaming-register exhaustion (the rename stage is
+// in-order, so one thread's stuck instruction stalls everything behind it).
+// ---------------------------------------------------------------------------
+void Pipeline::do_dispatch() {
+  std::uint32_t budget = cfg_.dispatch_width;
+  while (budget > 0 && !dispatch_fifo_.empty()) {
+    const InstrRef ref = dispatch_fifo_.front();
+    Thread& t = threads_[ref.tid];
+
+    // Entries for squashed instructions were scrubbed at squash time, so
+    // the head is always live.
+    DynInstr& d = instr_at(ref.tid, ref.seq);
+    assert(d.uid == ref.uid && d.state == DynInstr::State::kFrontEnd);
+    if (d.dispatch_ready > cycle_) break;  // still in decode/rename
+
+    const bool fp = isa::is_fp(d.si.cls);
+    const bool is_mem = isa::is_mem(d.si.cls);
+
+    // Structural-hazard checks; failure stalls the whole stage.
+    if (fp) {
+      if (fp_iq_.size() >= cfg_.fp_iq_size) break;
+    } else {
+      if (int_iq_.size() >= cfg_.int_iq_size) break;
+    }
+    if (is_mem && lsq_used_ >= cfg_.lsq_size) {
+      ++t.counters.lsq_full_events_quantum;
+      break;
+    }
+    if (has_dst_reg(d.si.cls)) {
+      if (fp) {
+        if (fp_rename_free_ == 0) break;
+      } else {
+        if (int_rename_free_ == 0) break;
+      }
+    }
+
+    // Acquire resources and enqueue.
+    if (has_dst_reg(d.si.cls)) {
+      if (fp) --fp_rename_free_; else --int_rename_free_;
+      d.has_rename_reg = true;
+    }
+    if (is_mem) {
+      ++lsq_used_;
+      d.has_lsq_entry = true;
+    }
+    d.state = DynInstr::State::kQueued;
+    d.age = next_age_++;
+    (fp ? fp_iq_ : int_iq_).push_back(ref);
+    --t.frontend_count;
+    dispatch_fifo_.pop_front();
+    --budget;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch: thread selection by the active policy, ICOUNT.2.8 bandwidth,
+// cache-block fragmentation, wrong-path synthesis, detector-thread slots.
+// ---------------------------------------------------------------------------
+void Pipeline::do_fetch() {
+  const std::uint32_t n = num_threads();
+
+  // Clear expired I-cache stalls.
+  for (Thread& t : threads_) {
+    if (t.icache_stalled && t.fetch_stall_until <= cycle_) {
+      t.icache_stalled = false;
+      t.counters.l1i_outstanding = 0;
+    }
+  }
+
+  // Candidate threads, sorted by the active policy's priority key with a
+  // rotating tie-break so equal-key threads share fairly.
+  struct Cand {
+    std::uint32_t tid;
+    double key;
+    std::uint32_t tie;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(n);
+  for (std::uint32_t tid = 0; tid < n; ++tid) {
+    Thread& t = threads_[tid];
+    if (t.fetch_stall_until > cycle_) continue;
+    if (t.fetch_block_until > cycle_) continue;
+    if (t.window.full()) continue;
+    if (t.frontend_count >=
+        static_cast<std::int32_t>(cfg_.fetch_buffer_cap)) {
+      continue;  // front-end buffer full: dispatch is backed up
+    }
+    const double key =
+        policy::priority_key(policy_, t.counters, tid, n, cycle_);
+    cands.push_back(
+        Cand{tid, key, static_cast<std::uint32_t>((tid + cycle_) % n)});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.tie < b.tie;
+  });
+
+  std::uint32_t slots = cfg_.fetch_width;
+  std::uint32_t threads_used = 0;
+  std::array<std::uint32_t, 64> fetched_per_thread{};  // n <= 64
+
+  for (const Cand& cand : cands) {
+    if (slots == 0 || threads_used >= cfg_.fetch_threads) break;
+    Thread& t = threads_[cand.tid];
+    ThreadCounters& c = t.counters;
+
+    const std::uint64_t pc = t.wrong_path_mode
+                                 ? t.wrong_pc
+                                 : (!t.replay.empty() ? t.replay.front().pc
+                                                      : t.program.pc());
+
+    // I-cache access for the fetch block — skipped when this exact block
+    // was just delivered by a completed miss (one-shot fetch-buffer hit).
+    const std::uint64_t block = pc / isa::kFetchBlockBytes;
+    if (block == t.delivered_block) {
+      t.delivered_block = ~std::uint64_t{0};
+    } else {
+      const mem::AccessResult ir = mem_.lookup_instr(cand.tid, pc);
+      if (ir.l1_miss) {
+        ++c.l1i_misses_quantum;
+        t.fetch_stall_until = cycle_ + ir.latency;
+        t.icache_stalled = true;
+        t.delivered_block = block;
+        c.l1i_outstanding = 1;
+        ++threads_used;  // the fetch port was spent on the miss
+        continue;
+      }
+    }
+
+    // Fetch up to the cache-block boundary (fetch fragmentation).
+    const std::uint64_t offset_in_block =
+        (pc / isa::kInstrBytes) % isa::kFetchBlockInstrs;
+    std::uint32_t n_max = static_cast<std::uint32_t>(
+        isa::kFetchBlockInstrs - offset_in_block);
+    n_max = std::min(n_max, slots);
+
+    std::uint32_t got = 0;
+    while (got < n_max && !t.window.full() &&
+           t.frontend_count <
+               static_cast<std::int32_t>(cfg_.fetch_buffer_cap)) {
+      isa::Instruction si;
+      bool wrong = t.wrong_path_mode;
+      if (wrong) {
+        si = t.program.next_wrong(t.wrong_pc);
+      } else if (!t.replay.empty()) {
+        si = t.replay.pop_front();
+      } else {
+        si = t.program.next();
+      }
+
+      DynInstr d;
+      d.si = si;
+      d.seq = t.next_seq++;
+      d.uid = next_uid_++;
+      d.state = DynInstr::State::kFrontEnd;
+      d.wrong_path = wrong;
+      d.dispatch_ready = cycle_ + cfg_.frontend_delay;
+
+      ++c.icount;
+      ++t.frontend_count;
+      if (si.cls == isa::InstrClass::kBranch) ++c.brcount;
+      if (si.cls == isa::InstrClass::kLoad) {
+        ++c.ldcount;
+        ++c.memcount;
+      } else if (si.cls == isa::InstrClass::kStore) {
+        ++c.memcount;
+      }
+      ++stats_.fetched;
+      if (wrong) {
+        ++stats_.fetched_wrong_path;
+        ++c.wrong_path_fetched_quantum;
+      }
+      ++got;
+      --slots;
+
+      bool stop_thread = false;
+      if (si.cls == isa::InstrClass::kBranch) {
+        const bool pred = bp_.predict(cand.tid, si.pc);
+        d.predicted_taken = pred;
+        if (!wrong) {
+          const bool mispred = pred != si.taken;
+          d.mispredicted = mispred;
+          if (mispred) {
+            t.wrong_path_mode = true;
+            // The front end follows the *predicted* path.
+            t.wrong_pc = pred ? si.branch_target : si.pc + isa::kInstrBytes;
+          }
+          if (pred) {
+            // Predicted taken: redirect ends this thread's fetch group;
+            // without a BTB target there is an extra bubble.
+            if (!bp_.btb_hit(si.pc)) {
+              ++stats_.btb_misses;
+              t.fetch_stall_until = cycle_ + cfg_.btb_miss_penalty;
+            }
+            stop_thread = true;
+          }
+        } else if (pred) {
+          stop_thread = true;  // wrong-path fetch also breaks on taken
+        }
+      }
+
+      dispatch_fifo_.push_back(InstrRef{cand.tid, d.seq, d.uid});
+      t.window.push_back(std::move(d));
+      if (stop_thread) break;
+    }
+
+    fetched_per_thread[cand.tid] = got;
+    ++threads_used;
+  }
+
+  // Stall accounting: every thread that put no instruction into the
+  // machine this cycle incurs a fetch stall (whatever the reason).
+  for (std::uint32_t tid = 0; tid < n; ++tid) {
+    if (fetched_per_thread[tid] == 0) {
+      ++threads_[tid].counters.stalls_quantum;
+    }
+  }
+
+  // Leftover slots: idle, unless the detector thread has queued work.
+  stats_.fetch_slots_idle += slots;
+  if (dt_work_ > 0 && slots > 0) {
+    const std::uint64_t used = std::min<std::uint64_t>(slots, dt_work_);
+    dt_work_ -= used;
+    stats_.dt_slots_used += used;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Squash machinery.
+// ---------------------------------------------------------------------------
+void Pipeline::release_instr_resources(std::uint32_t tid, DynInstr& d,
+                                       bool completed_ok) {
+  Thread& t = threads_[tid];
+  ThreadCounters& c = t.counters;
+
+  if (d.has_rename_reg) {
+    if (isa::is_fp(d.si.cls)) ++fp_rename_free_; else ++int_rename_free_;
+    d.has_rename_reg = false;
+  }
+  if (d.has_lsq_entry) {
+    --lsq_used_;
+    d.has_lsq_entry = false;
+  }
+  if (completed_ok) return;
+
+  // Squash path: undo occupancy contributions that completion would have
+  // removed.
+  const bool mem = isa::is_mem(d.si.cls);
+  if (mem ? d.state != DynInstr::State::kDone
+          : (d.state == DynInstr::State::kFrontEnd ||
+             d.state == DynInstr::State::kQueued)) {
+    --c.icount;
+  }
+  if (d.state == DynInstr::State::kFrontEnd) --t.frontend_count;
+  if (d.state != DynInstr::State::kDone) {
+    if (d.si.cls == isa::InstrClass::kBranch) --c.brcount;
+    if (d.si.cls == isa::InstrClass::kLoad) {
+      --c.ldcount;
+      --c.memcount;
+    } else if (d.si.cls == isa::InstrClass::kStore) {
+      --c.memcount;
+    }
+    if (d.counted_l1d_outstanding) {
+      --c.l1d_outstanding;
+      d.counted_l1d_outstanding = false;
+    }
+  }
+}
+
+void Pipeline::squash_from(std::uint32_t tid, std::uint64_t first_seq,
+                           bool replay_correct_path) {
+  Thread& t = threads_[tid];
+
+  // Collect replayable correct-path instructions (popped youngest-first,
+  // reversed into program order below).
+  std::vector<isa::Instruction> to_replay;
+  while (!t.window.empty() && t.window.back().seq >= first_seq) {
+    DynInstr& d = t.window.back();
+    release_instr_resources(tid, d, /*completed_ok=*/false);
+    if (replay_correct_path && !d.wrong_path) {
+      to_replay.push_back(d.si);
+    }
+    ++stats_.squashed;
+    t.window.pop_back();
+  }
+  t.next_seq = first_seq;
+
+  if (!to_replay.empty()) {
+    // Squashed instructions are *older* in program order than anything
+    // already waiting in the replay queue (which was queued by an earlier
+    // flush and not yet refetched), so rebuild: squashed first, then the
+    // existing backlog.
+    std::vector<isa::Instruction> backlog;
+    backlog.reserve(t.replay.size());
+    while (!t.replay.empty()) backlog.push_back(t.replay.pop_front());
+    for (auto it = to_replay.rbegin(); it != to_replay.rend(); ++it) {
+      t.replay.push_back(*it);
+    }
+    for (const auto& si : backlog) t.replay.push_back(si);
+  }
+
+  // Drop queue references to squashed instructions.
+  auto scrub = [tid, first_seq](std::vector<InstrRef>& q) {
+    std::size_t out = 0;
+    for (std::size_t in = 0; in < q.size(); ++in) {
+      if (q[in].tid == tid && q[in].seq >= first_seq) continue;
+      q[out++] = q[in];
+    }
+    q.resize(out);
+  };
+  scrub(int_iq_);
+  scrub(fp_iq_);
+
+  // Scrub the dispatch FIFO the same way (rebuild preserving order).
+  if (!dispatch_fifo_.empty()) {
+    std::vector<InstrRef> keep;
+    keep.reserve(dispatch_fifo_.size());
+    while (!dispatch_fifo_.empty()) {
+      const InstrRef r = dispatch_fifo_.pop_front();
+      if (!(r.tid == tid && r.seq >= first_seq)) keep.push_back(r);
+    }
+    for (const InstrRef& r : keep) dispatch_fifo_.push_back(r);
+  }
+}
+
+void Pipeline::syscall_flush(std::uint32_t /*syscall_tid*/) {
+  ++stats_.syscall_flushes;
+  for (std::uint32_t tid = 0; tid < num_threads(); ++tid) {
+    Thread& t = threads_[tid];
+    if (!t.window.empty()) {
+      squash_from(tid, t.head_seq, /*replay_correct_path=*/true);
+    }
+    t.wrong_path_mode = false;
+    t.fetch_stall_until =
+        std::max<std::uint64_t>(t.fetch_stall_until,
+                                cycle_ + cfg_.syscall_flush_penalty);
+    t.icache_stalled = false;
+    t.counters.l1i_outstanding = 0;
+  }
+}
+
+void Pipeline::block_fetch(std::uint32_t tid, std::uint64_t until_cycle) {
+  threads_[tid].fetch_block_until = until_cycle;
+}
+
+workload::ThreadProgram Pipeline::swap_program(std::uint32_t tid,
+                                               workload::ThreadProgram incoming,
+                                               std::uint64_t penalty_cycles) {
+  Thread& t = threads_[tid];
+  if (!t.window.empty()) {
+    squash_from(tid, t.head_seq, /*replay_correct_path=*/false);
+  }
+  // Pending replay belongs to the outgoing job. Discarding it loses a few
+  // already-fetched instructions of that job; the synthetic stream has no
+  // architectural state, so "resume" semantics are preserved statistically
+  // (a real OS would refetch from the saved PC just the same).
+  t.replay.clear();
+  t.wrong_path_mode = false;
+  t.icache_stalled = false;
+  t.delivered_block = ~std::uint64_t{0};
+  t.counters = ThreadCounters{};
+  t.fetch_stall_until =
+      std::max<std::uint64_t>(t.fetch_stall_until, cycle_ + penalty_cycles);
+
+  workload::ThreadProgram outgoing = std::move(t.program);
+  t.program = std::move(incoming);
+  return outgoing;
+}
+
+void Pipeline::reset_quantum_counters() {
+  for (Thread& t : threads_) t.counters.reset_quantum();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (tests).
+// ---------------------------------------------------------------------------
+bool Pipeline::check_counter_invariants() const {
+  std::uint32_t lsq = 0;
+  std::uint32_t int_held = 0;
+  std::uint32_t fp_held = 0;
+  for (std::uint32_t tid = 0; tid < num_threads(); ++tid) {
+    const Thread& t = threads_[tid];
+    std::int32_t icount = 0;
+    std::int32_t brcount = 0;
+    std::int32_t ldcount = 0;
+    std::int32_t memcount = 0;
+    std::int32_t l1d_out = 0;
+    std::int32_t frontend = 0;
+    for (std::size_t i = 0; i < t.window.size(); ++i) {
+      const DynInstr& d = t.window[i];
+      const bool mem = isa::is_mem(d.si.cls);
+      if (mem ? d.state != DynInstr::State::kDone
+              : (d.state == DynInstr::State::kFrontEnd ||
+                 d.state == DynInstr::State::kQueued)) {
+        ++icount;
+      }
+      if (d.state == DynInstr::State::kFrontEnd) ++frontend;
+      if (d.state != DynInstr::State::kDone) {
+        if (d.si.cls == isa::InstrClass::kBranch) ++brcount;
+        if (d.si.cls == isa::InstrClass::kLoad) {
+          ++ldcount;
+          ++memcount;
+        } else if (d.si.cls == isa::InstrClass::kStore) {
+          ++memcount;
+        }
+      }
+      if (d.counted_l1d_outstanding) ++l1d_out;
+      if (d.has_lsq_entry) ++lsq;
+      if (d.has_rename_reg) {
+        if (isa::is_fp(d.si.cls)) ++fp_held; else ++int_held;
+      }
+    }
+    const ThreadCounters& c = t.counters;
+    if (icount != c.icount || brcount != c.brcount || ldcount != c.ldcount ||
+        memcount != c.memcount || l1d_out != c.l1d_outstanding ||
+        frontend != t.frontend_count) {
+      return false;
+    }
+  }
+  if (lsq != lsq_used_) return false;
+  if (int_held + int_rename_free_ != cfg_.int_rename_regs) return false;
+  if (fp_held + fp_rename_free_ != cfg_.fp_rename_regs) return false;
+  if (int_iq_.size() > cfg_.int_iq_size || fp_iq_.size() > cfg_.fp_iq_size) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace smt::pipeline

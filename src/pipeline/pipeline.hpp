@@ -1,0 +1,246 @@
+// The SMT out-of-order pipeline.
+//
+// Cycle-level model of an 8-context simultaneous-multithreading processor
+// in the style of SimpleSMT / Tullsen's ICOUNT.2.8 machine:
+//
+//   fetch (2 threads, 8 instrs, cache-block fragmentation)
+//     → decode/rename delay queue (frontend_delay stages; stalls on
+//       IQ/LSQ/renaming-register exhaustion)
+//     → separate INT and FP instruction queues (shared by all threads)
+//     → issue (oldest-first over ready instructions, FU constraints)
+//     → execute (per-class latency; loads/stores through the real caches)
+//     → per-thread in-order commit (shared commit bandwidth)
+//
+// Branches predict through a real gshare+BTB; a misprediction switches the
+// thread's fetch to synthesized wrong-path instructions which occupy fetch
+// slots, queues and functional units until the branch resolves and the
+// thread squashes — the waste that motivates BRCOUNT-style policies.
+//
+// The object is value-semantic: copying a Pipeline snapshots the complete
+// microarchitectural + workload state, enabling exact quantum re-runs
+// (oracle scheduling).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "branch/predictor.hpp"
+#include "common/fixed_queue.hpp"
+#include "common/rng.hpp"
+#include "isa/instruction.hpp"
+#include "mem/hierarchy.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/counters.hpp"
+#include "policy/fetch_policy.hpp"
+#include "workload/thread_program.hpp"
+
+namespace smt::pipeline {
+
+/// Aggregate machine statistics (whole-run).
+struct PipelineStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t fetched = 0;
+  std::uint64_t fetched_wrong_path = 0;
+  std::uint64_t squashed = 0;
+  std::uint64_t branches_resolved = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t btb_misses = 0;
+  std::uint64_t syscall_flushes = 0;
+  std::uint64_t fetch_slots_idle = 0;  ///< slots no normal thread could use
+  std::uint64_t dt_slots_used = 0;     ///< idle slots consumed by the DT
+
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles ? static_cast<double>(committed) / static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+class Pipeline {
+ public:
+  /// One workload program per hardware context (max 8 normal contexts by
+  /// convention; the detector thread does not take a workload slot).
+  Pipeline(const PipelineConfig& cfg,
+           std::vector<workload::ThreadProgram> programs);
+
+  Pipeline(const Pipeline&) = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(const Pipeline&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  /// Advance one cycle.
+  void step();
+
+  /// Advance n cycles.
+  void run(std::uint64_t n);
+
+  // --- fetch policy control (what the detector thread manipulates) -----
+  void set_policy(policy::FetchPolicy p) noexcept { policy_ = p; }
+  [[nodiscard]] policy::FetchPolicy policy() const noexcept { return policy_; }
+
+  /// Thread-control flag: prevent `tid` from fetching until `cycle`
+  /// (the "suspend a clogging thread" action of §3).
+  void block_fetch(std::uint32_t tid, std::uint64_t until_cycle);
+
+  /// Context switch: replace the workload on context `tid` with
+  /// `incoming`, returning the outgoing program (with its position
+  /// preserved, so the job scheduler can resume it later). In-flight
+  /// instructions of the thread are squashed (discarded, not replayed —
+  /// they belong to the outgoing job and will be refetched when it next
+  /// runs), the thread's counters reset, and fetch stalls for
+  /// `penalty_cycles` to model the OS switch cost.
+  [[nodiscard]] workload::ThreadProgram swap_program(
+      std::uint32_t tid, workload::ThreadProgram incoming,
+      std::uint64_t penalty_cycles);
+
+  // --- detector-thread execution model ---------------------------------
+  /// Queue `instrs` of detector-thread work; the DT retires them only
+  /// through fetch slots left idle by normal threads (it has the lowest
+  /// priority and a private program cache, per §3).
+  void add_dt_work(std::uint64_t instrs) noexcept { dt_work_ += instrs; }
+  [[nodiscard]] std::uint64_t dt_work_remaining() const noexcept {
+    return dt_work_;
+  }
+
+  // --- observation ------------------------------------------------------
+  [[nodiscard]] std::uint64_t now() const noexcept { return cycle_; }
+  [[nodiscard]] std::uint32_t num_threads() const noexcept {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ThreadCounters& counters(std::uint32_t tid) const {
+    return threads_[tid].counters;
+  }
+  [[nodiscard]] const workload::ThreadProgram& program(std::uint32_t tid) const {
+    return threads_[tid].program;
+  }
+  [[nodiscard]] const mem::Hierarchy& memory() const noexcept { return mem_; }
+  [[nodiscard]] const branch::Predictor& predictor() const noexcept {
+    return bp_;
+  }
+
+  /// Committed instructions (all threads) since construction.
+  [[nodiscard]] std::uint64_t committed_total() const noexcept {
+    return stats_.committed;
+  }
+
+  /// Reset every thread's quantum accumulators (detector thread does this
+  /// at each quantum boundary).
+  void reset_quantum_counters();
+
+  /// Occupancy invariant check used by tests: recomputes the occupancy
+  /// counters from the windows and compares with the incrementally
+  /// maintained values. Returns true when consistent.
+  [[nodiscard]] bool check_counter_invariants() const;
+
+ private:
+  // One in-flight instruction.
+  struct DynInstr {
+    isa::Instruction si;
+    std::uint64_t seq = 0;  ///< per-thread sequence (contiguous in window)
+    std::uint64_t uid = 0;  ///< globally unique (stale-ref detection)
+    std::uint64_t age = 0;  ///< global dispatch order (oldest-first issue)
+    enum class State : std::uint8_t { kFrontEnd, kQueued, kIssued, kDone };
+    State state = State::kFrontEnd;
+    bool wrong_path = false;
+    bool mispredicted = false;  ///< branch known (at fetch) to be mispredicted
+    bool predicted_taken = false;
+    bool has_rename_reg = false;
+    bool has_lsq_entry = false;
+    bool counted_l1d_outstanding = false;
+    std::uint64_t dispatch_ready = 0;  ///< cycle the front end releases it
+    std::uint64_t done_cycle = 0;      ///< completion time (valid once issued)
+  };
+
+  struct InstrRef {
+    std::uint32_t tid = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t uid = 0;
+  };
+
+  struct Thread {
+    workload::ThreadProgram program;
+    ThreadCounters counters;
+    FixedQueue<DynInstr> window;    ///< in-order in-flight instructions
+    std::uint64_t head_seq = 0;     ///< seq of window[0]
+    std::uint64_t next_seq = 0;     ///< seq of the next fetched instruction
+    FixedQueue<isa::Instruction> replay;  ///< squashed correct-path instrs
+    bool wrong_path_mode = false;
+    std::uint64_t wrong_pc = 0;
+    std::int32_t frontend_count = 0;  ///< instrs in state kFrontEnd
+    std::uint64_t fetch_stall_until = 0;
+    std::uint64_t fetch_block_until = 0;  ///< thread-control flag (ADTS)
+    bool icache_stalled = false;   ///< fetch_stall caused by an L1I miss
+    /// Fetch-buffer bypass: the I-block whose miss just completed can be
+    /// fetched once without a new I-cache lookup (critical-word delivery;
+    /// also prevents livelock when contending threads evict the line
+    /// before the stalled thread retries).
+    std::uint64_t delivered_block = ~std::uint64_t{0};
+  };
+
+  // Stage implementations, called in reverse pipeline order each cycle.
+  void do_commit();
+  void do_complete();
+  void do_issue();
+  void do_dispatch();
+  void do_fetch();
+
+  [[nodiscard]] DynInstr& instr_at(std::uint32_t tid, std::uint64_t seq);
+  [[nodiscard]] const DynInstr& instr_at(std::uint32_t tid,
+                                         std::uint64_t seq) const;
+  [[nodiscard]] bool deps_ready(const Thread& t, const DynInstr& d) const;
+
+  /// Squash all instructions of `tid` with seq >= `first_seq`.
+  /// When `replay_correct_path` is set, squashed correct-path instructions
+  /// are queued for refetch *ahead of* any instructions already waiting in
+  /// the replay queue (they are older in program order); wrong-path
+  /// instructions are always discarded.
+  void squash_from(std::uint32_t tid, std::uint64_t first_seq,
+                   bool replay_correct_path);
+
+  /// Full-machine drain for a system call (paper §6's conservative
+  /// assumption: "all threads have to flush out of the pipeline").
+  void syscall_flush(std::uint32_t syscall_tid);
+
+  void release_instr_resources(std::uint32_t tid, DynInstr& d,
+                               bool completed_ok);
+
+  [[nodiscard]] std::uint32_t load_latency(std::uint32_t tid, Thread& t,
+                                           const DynInstr& d);
+
+  PipelineConfig cfg_;
+  policy::FetchPolicy policy_ = policy::FetchPolicy::kIcount;
+
+  std::vector<Thread> threads_;
+  mem::Hierarchy mem_;
+  branch::Predictor bp_;
+
+  // Shared structures.
+  /// Global dispatch FIFO: instructions enter in fetch order and the
+  /// rename/dispatch stage drains it in order with head-of-line blocking
+  /// on structural hazards (SimpleScalar-style single fetch queue). This
+  /// is what transmits fetch priority to the shared queues: a clogging
+  /// thread's instructions at the FIFO head stall everyone behind them —
+  /// unless the fetch policy stopped fetching that thread first.
+  FixedQueue<InstrRef> dispatch_fifo_;
+  std::vector<InstrRef> int_iq_;  ///< age-ordered (append at dispatch)
+  std::vector<InstrRef> fp_iq_;
+  std::uint32_t int_rename_free_ = 0;
+  std::uint32_t fp_rename_free_ = 0;
+  std::uint32_t lsq_used_ = 0;  ///< shared load/store queue occupancy
+
+  // Completion ring: refs indexed by done_cycle % ring size.
+  static constexpr std::uint32_t kCompletionRing = 256;
+  std::vector<std::vector<InstrRef>> completion_;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_uid_ = 1;
+  std::uint64_t next_age_ = 1;
+  std::uint64_t dt_work_ = 0;
+
+  PipelineStats stats_;
+};
+
+}  // namespace smt::pipeline

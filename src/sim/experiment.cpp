@@ -1,0 +1,135 @@
+#include "sim/experiment.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace smt::sim {
+
+ExperimentScale ExperimentScale::from_env() {
+  ExperimentScale s;
+  const char* env = std::getenv("SMT_BENCH_SCALE");
+  const std::string_view mode = env ? env : "default";
+  if (mode == "quick") {
+    s.plan.intervals = 1;
+    s.plan.warmup_cycles = 8 * 1024;
+    s.plan.measure_cycles = 64 * 1024;  // 8 quanta
+    s.oracle_quanta = 6;
+    s.oracle_intervals = 1;
+  } else if (mode == "full") {
+    s.plan.intervals = 4;
+    s.plan.warmup_cycles = 32 * 1024;
+    s.plan.measure_cycles = 384 * 1024;  // 48 quanta
+    s.oracle_quanta = 24;
+    s.oracle_intervals = 2;
+  }
+  return s;
+}
+
+std::vector<double> threshold_sweep() { return {1.0, 2.0, 3.0, 4.0, 5.0}; }
+
+SampleResult run_fixed(const workload::Mix& mix, policy::FetchPolicy policy,
+                       std::size_t threads, const ExperimentScale& scale) {
+  SimConfig cfg = make_config(mix, threads, scale.base_seed);
+  cfg.fixed_policy = policy;
+  cfg.use_adts = false;
+  return run_sampled(cfg, scale.plan);
+}
+
+SampleResult run_adts(const workload::Mix& mix, core::HeuristicType heuristic,
+                      double ipc_threshold, std::size_t threads,
+                      const ExperimentScale& scale,
+                      const core::AdtsConfig* overrides) {
+  SimConfig cfg = make_config(mix, threads, scale.base_seed);
+  cfg.use_adts = true;
+  if (overrides != nullptr) cfg.adts = *overrides;
+  cfg.adts.heuristic = heuristic;
+  cfg.adts.ipc_threshold = ipc_threshold;
+  return run_sampled(cfg, scale.plan);
+}
+
+OracleResult run_oracle_on_mix(const workload::Mix& mix, std::size_t threads,
+                               const ExperimentScale& scale,
+                               const OracleConfig& ocfg) {
+  OracleResult agg;
+  for (std::uint32_t i = 0; i < scale.oracle_intervals; ++i) {
+    SimConfig cfg = make_config(mix, threads, scale.base_seed);
+    cfg.workload_seed =
+        mix64(scale.base_seed ^ (0x1417ull + i * 0x9e37ull));
+    Simulator sim(cfg);
+    sim.run(scale.plan.warmup_cycles);
+    const OracleResult r = run_oracle(sim, scale.oracle_quanta, ocfg);
+    agg.cycles += r.cycles;
+    agg.committed += r.committed;
+    agg.switches += r.switches;
+    for (std::size_t p = 0; p < agg.quanta_per_policy.size(); ++p) {
+      agg.quanta_per_policy[p] += r.quanta_per_policy[p];
+    }
+  }
+  return agg;
+}
+
+SweepGrid run_fig78_sweep(const ExperimentScale& scale, std::size_t threads) {
+  SweepGrid grid;
+  grid.thresholds = threshold_sweep();
+  grid.types = core::all_heuristics();
+  grid.mixes = mixes_for_scale(scale);
+  grid.cells.resize(grid.types.size() * grid.thresholds.size());
+
+  // Fixed-ICOUNT baseline over the same mixes.
+  {
+    std::vector<double> ipcs;
+    for (const auto& mname : grid.mixes) {
+      ipcs.push_back(run_fixed(workload::mix(mname),
+                               policy::FetchPolicy::kIcount, threads, scale)
+                         .ipc());
+    }
+    grid.icount_baseline_ipc = mean(ipcs);
+  }
+
+  for (std::size_t ti = 0; ti < grid.types.size(); ++ti) {
+    for (std::size_t mi = 0; mi < grid.thresholds.size(); ++mi) {
+      std::vector<double> ipcs;
+      double switches = 0.0;
+      std::uint64_t benign = 0;
+      std::uint64_t scored = 0;
+      std::uint64_t low = 0;
+      std::uint64_t quanta = 0;
+      for (const auto& mname : grid.mixes) {
+        const SampleResult r = run_adts(workload::mix(mname), grid.types[ti],
+                                        grid.thresholds[mi], threads, scale);
+        ipcs.push_back(r.ipc());
+        switches += static_cast<double>(r.switches);
+        benign += r.benign_switches;
+        scored += r.benign_switches + r.malignant_switches;
+        low += r.low_throughput_quanta;
+        quanta += r.quanta;
+      }
+      SweepCell& c =
+          grid.cells[ti * grid.thresholds.size() + mi];
+      c.ipc = mean(ipcs);
+      c.switches = switches / static_cast<double>(grid.mixes.size());
+      c.benign_prob =
+          scored ? static_cast<double>(benign) / static_cast<double>(scored)
+                 : 0.0;
+      c.low_quanta_frac =
+          quanta ? static_cast<double>(low) / static_cast<double>(quanta)
+                 : 0.0;
+    }
+  }
+  return grid;
+}
+
+std::vector<std::string> mixes_for_scale(const ExperimentScale& scale) {
+  std::vector<std::string> names;
+  const char* env = std::getenv("SMT_BENCH_SCALE");
+  const std::string_view mode = env ? env : "default";
+  if (mode == "quick") {
+    names = {"ctrl8", "mem8", "ilp8", "bal1", "var1"};
+  } else {
+    for (const auto& m : workload::all_mixes()) names.push_back(m.name);
+  }
+  (void)scale;
+  return names;
+}
+
+}  // namespace smt::sim

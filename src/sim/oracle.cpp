@@ -1,0 +1,53 @@
+#include "sim/oracle.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace smt::sim {
+
+OracleResult run_oracle(Simulator base, std::uint64_t quanta,
+                        const OracleConfig& cfg) {
+  if (cfg.candidates.empty()) {
+    throw std::invalid_argument("OracleConfig: no candidate policies");
+  }
+  if (base.adts_enabled()) {
+    throw std::invalid_argument(
+        "run_oracle: disable ADTS in the base simulator (the oracle "
+        "replaces the detector thread)");
+  }
+
+  OracleResult result;
+  policy::FetchPolicy last = base.pipeline().policy();
+
+  for (std::uint64_t q = 0; q < quanta; ++q) {
+    const std::uint64_t committed_before = base.committed();
+
+    bool have_best = false;
+    Simulator best = base;  // placeholder; overwritten below
+    std::uint64_t best_committed = 0;
+    policy::FetchPolicy best_policy = cfg.candidates.front();
+
+    for (policy::FetchPolicy cand : cfg.candidates) {
+      Simulator trial = base;
+      trial.pipeline().set_policy(cand);
+      trial.run(cfg.quantum_cycles);
+      const std::uint64_t got = trial.committed() - committed_before;
+      if (!have_best || got > best_committed) {
+        have_best = true;
+        best_committed = got;
+        best_policy = cand;
+        best = std::move(trial);
+      }
+    }
+
+    base = std::move(best);
+    result.cycles += cfg.quantum_cycles;
+    result.committed += best_committed;
+    result.quanta_per_policy[static_cast<std::size_t>(best_policy)] += 1;
+    if (best_policy != last) ++result.switches;
+    last = best_policy;
+  }
+  return result;
+}
+
+}  // namespace smt::sim

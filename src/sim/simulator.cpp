@@ -1,0 +1,70 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+#include "workload/app_profile.hpp"
+#include "workload/thread_program.hpp"
+
+namespace smt::sim {
+
+SimConfig make_config(const workload::Mix& mix, std::size_t threads,
+                      std::uint64_t workload_seed) {
+  SimConfig cfg;
+  cfg.apps = workload::mix_for_threads(mix, threads, workload_seed);
+  cfg.workload_seed = workload_seed;
+  return cfg;
+}
+
+namespace {
+
+std::vector<workload::ThreadProgram> build_programs(const SimConfig& cfg) {
+  if (cfg.apps.empty()) {
+    throw std::invalid_argument("SimConfig: no applications");
+  }
+  if (cfg.apps.size() > 8) {
+    throw std::invalid_argument(
+        "SimConfig: more applications than hardware contexts (8)");
+  }
+  std::vector<workload::ThreadProgram> programs;
+  programs.reserve(cfg.apps.size());
+  for (std::size_t tid = 0; tid < cfg.apps.size(); ++tid) {
+    programs.emplace_back(workload::profile(cfg.apps[tid]),
+                          static_cast<std::uint32_t>(tid), cfg.workload_seed);
+  }
+  return programs;
+}
+
+core::AdtsConfig adts_config_of(const SimConfig& cfg) {
+  core::AdtsConfig a = cfg.adts;
+  a.initial_policy = cfg.fixed_policy;
+  return a;
+}
+
+}  // namespace
+
+Simulator::Simulator(const SimConfig& cfg)
+    : cfg_(cfg),
+      pipe_(cfg.machine, build_programs(cfg)),
+      detector_(adts_config_of(cfg)),
+      use_adts_(cfg.use_adts) {
+  pipe_.set_policy(cfg.fixed_policy);
+}
+
+void Simulator::set_adts_active(bool active) {
+  if (active && !use_adts_) {
+    detector_.arm(pipe_);
+    pipe_.reset_quantum_counters();
+  }
+  use_adts_ = active;
+}
+
+void Simulator::step() {
+  pipe_.step();
+  if (use_adts_) detector_.tick(pipe_);
+}
+
+void Simulator::run(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) step();
+}
+
+}  // namespace smt::sim

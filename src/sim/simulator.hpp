@@ -1,0 +1,83 @@
+// Simulator facade: machine + workload + (optionally) the ADTS detector
+// thread, behind one value-semantic object.
+//
+// Copying a Simulator snapshots everything — microarchitectural state,
+// workload generator positions, detector-thread state — so a copy resumes
+// exactly where the original was. The oracle scheduler (sim/oracle.hpp)
+// and the quantum-rerun tests are built on this property.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "pipeline/pipeline.hpp"
+#include "policy/fetch_policy.hpp"
+#include "workload/mix.hpp"
+
+namespace smt::sim {
+
+struct SimConfig {
+  pipeline::PipelineConfig machine{};
+  /// Application profile names, one per hardware context (≤ 8).
+  std::vector<std::string> apps;
+  /// Master workload seed; intervals of a sampled run vary this.
+  std::uint64_t workload_seed = 1;
+
+  /// Fixed fetch policy used when ADTS is disabled (and as the ADTS
+  /// initial/default policy).
+  policy::FetchPolicy fixed_policy = policy::FetchPolicy::kIcount;
+
+  bool use_adts = false;
+  core::AdtsConfig adts{};
+};
+
+/// Build a SimConfig for a named mix at a given thread count.
+[[nodiscard]] SimConfig make_config(const workload::Mix& mix,
+                                    std::size_t threads,
+                                    std::uint64_t workload_seed);
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& cfg);
+
+  Simulator(const Simulator&) = default;
+  Simulator(Simulator&&) = default;
+  Simulator& operator=(const Simulator&) = default;
+  Simulator& operator=(Simulator&&) = default;
+
+  void step();
+  void run(std::uint64_t cycles);
+
+  [[nodiscard]] pipeline::Pipeline& pipeline() noexcept { return pipe_; }
+  [[nodiscard]] const pipeline::Pipeline& pipeline() const noexcept {
+    return pipe_;
+  }
+  [[nodiscard]] const core::DetectorThread& detector() const noexcept {
+    return detector_;
+  }
+  [[nodiscard]] bool adts_enabled() const noexcept { return use_adts_; }
+
+  /// Suspend / resume the detector thread. Resuming re-baselines the
+  /// detector (DetectorThread::arm) and resets quantum counters so the
+  /// first observed quantum is clean. The sampling driver uses this to
+  /// keep warm-up transients (cold caches ⇒ artificially low IPC ⇒
+  /// spurious cold-start policy switches) out of ADTS's view.
+  void set_adts_active(bool active);
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] std::uint64_t now() const noexcept { return pipe_.now(); }
+  [[nodiscard]] std::uint64_t committed() const noexcept {
+    return pipe_.committed_total();
+  }
+  [[nodiscard]] double ipc() const noexcept { return pipe_.stats().ipc(); }
+
+ private:
+  SimConfig cfg_;
+  pipeline::Pipeline pipe_;
+  core::DetectorThread detector_;
+  bool use_adts_ = false;
+};
+
+}  // namespace smt::sim

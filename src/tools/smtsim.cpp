@@ -1,0 +1,188 @@
+// smtsim — command-line driver for the SMT/ADTS simulator.
+//
+// Runs a mix (or an explicit application list) under a fixed fetch
+// policy, under ADTS, or under the oracle, with the machine knobs
+// exposed as options. Prints a human-readable report or CSV.
+//
+// Examples:
+//   smtsim --mix int8 --cycles 500000
+//   smtsim --apps gzip,mcf,swim,crafty --policy BRCOUNT
+//   smtsim --mix ctrl8 --adts --heuristic 3 --threshold 2
+//   smtsim --mix bal1 --oracle --quanta 16
+//   smtsim --mix fp8 --threads 4 --csv
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/heuristics.hpp"
+#include "sim/oracle.hpp"
+#include "sim/simulator.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/mix.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: smtsim [options]
+
+workload (one of):
+  --mix NAME            one of the 13 built-in mixes (see --list)
+  --apps a,b,c,...      explicit application list (max 8)
+  --threads N           contexts to use from the mix (default 8)
+  --seed N              workload seed (default 2003)
+
+scheduling (one of):
+  --policy NAME         fixed fetch policy (default ICOUNT)
+  --adts                adaptive scheduling (detector thread)
+    --heuristic 1|2|3|3p|4    (default 3)
+    --threshold M             IPC threshold (default 2)
+    --quantum CYCLES          scheduling quantum (default 8192)
+    --instant                 zero-cost switching (ablation)
+  --oracle              per-quantum oracle over {ICOUNT,BRCOUNT,L1MISSCOUNT}
+    --all-policies            oracle over all ten policies
+    --quanta N                oracle quanta (default 16)
+
+run control:
+  --cycles N            cycles to simulate (default 262144)
+  --warmup N            warm-up cycles excluded from stats (default 32768)
+  --csv                 machine-readable output
+  --list                list mixes, applications and policies, then exit
+  --help                this text
+)";
+
+void list_everything() {
+  std::cout << "mixes:\n";
+  for (const auto& m : smt::workload::all_mixes()) {
+    std::cout << "  " << m.name << " — " << m.description << '\n';
+  }
+  std::cout << "applications:";
+  for (const auto& a : smt::workload::all_profile_names()) {
+    std::cout << ' ' << a;
+  }
+  std::cout << "\npolicies:";
+  for (auto p : smt::policy::all_policies()) {
+    std::cout << ' ' << smt::policy::name(p);
+  }
+  std::cout << "\nheuristics: 1 2 3 3p 4\n";
+}
+
+smt::core::HeuristicType parse_heuristic(const std::string& s) {
+  using smt::core::HeuristicType;
+  if (s == "1") return HeuristicType::kType1;
+  if (s == "2") return HeuristicType::kType2;
+  if (s == "3") return HeuristicType::kType3;
+  if (s == "3p" || s == "3'") return HeuristicType::kType3Prime;
+  if (s == "4") return HeuristicType::kType4;
+  throw std::invalid_argument("--heuristic must be 1|2|3|3p|4");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smt;
+  try {
+    const CliArgs args(argc, argv,
+                       {"mix", "apps", "threads", "seed", "policy", "adts",
+                        "heuristic", "threshold", "quantum", "instant",
+                        "oracle", "all-policies", "quanta", "cycles",
+                        "warmup", "csv", "list", "help"},
+                       /*flag_keys=*/{"adts", "instant", "oracle",
+                                      "all-policies", "csv", "list", "help"});
+    if (args.has("help")) {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (args.has("list")) {
+      list_everything();
+      return 0;
+    }
+
+    sim::SimConfig cfg;
+    cfg.workload_seed = args.get_u64("seed", 2003);
+    const std::size_t threads = args.get_u64("threads", 8);
+    if (args.has("apps")) {
+      cfg.apps = split_list(args.get_or("apps", ""));
+    } else {
+      cfg.apps = workload::mix_for_threads(
+          workload::mix(args.get_or("mix", "bal1")), threads,
+          cfg.workload_seed);
+    }
+    cfg.fixed_policy = policy::parse_policy(args.get_or("policy", "ICOUNT"));
+
+    const std::uint64_t warmup = args.get_u64("warmup", 32768);
+    const std::uint64_t cycles = args.get_u64("cycles", 262144);
+    const bool csv = args.has("csv");
+
+    if (args.has("oracle")) {
+      sim::OracleConfig ocfg;
+      ocfg.quantum_cycles = args.get_u64("quantum", 8192);
+      if (args.has("all-policies")) ocfg.candidates = policy::all_policies();
+      const std::uint64_t quanta = args.get_u64("quanta", 16);
+
+      sim::Simulator base(cfg);
+      base.run(warmup);
+      const sim::OracleResult r = sim::run_oracle(base, quanta, ocfg);
+      if (csv) {
+        std::cout << "mode,ipc,cycles,committed,switches\noracle,"
+                  << r.ipc() << ',' << r.cycles << ',' << r.committed << ','
+                  << r.switches << '\n';
+      } else {
+        std::cout << "oracle IPC " << Table::num(r.ipc()) << " over "
+                  << quanta << " quanta (" << r.switches << " switches)\n";
+        for (auto p : ocfg.candidates) {
+          std::cout << "  " << policy::name(p) << ": "
+                    << r.quanta_per_policy[static_cast<std::size_t>(p)]
+                    << " quanta\n";
+        }
+      }
+      return 0;
+    }
+
+    if (args.has("adts")) {
+      cfg.use_adts = true;
+      cfg.adts.heuristic = parse_heuristic(args.get_or("heuristic", "3"));
+      cfg.adts.ipc_threshold = args.get_double("threshold", 2.0);
+      cfg.adts.quantum_cycles = args.get_u64("quantum", 8192);
+      cfg.adts.instant_switch = args.has("instant");
+    }
+
+    sim::Simulator sim(cfg);
+    sim.run(warmup);
+    const std::uint64_t c0 = sim.committed();
+    sim.run(cycles);
+    const double ipc =
+        static_cast<double>(sim.committed() - c0) / static_cast<double>(cycles);
+
+    const auto& st = sim.pipeline().stats();
+    const auto& dt = sim.detector().stats();
+    if (csv) {
+      std::cout << "mode,ipc,cycles,committed,switches,benign,mispredicts,"
+                   "wrong_path_fetched\n"
+                << (cfg.use_adts ? "adts" : "fixed") << ',' << ipc << ','
+                << cycles << ',' << sim.committed() - c0 << ',' << dt.switches
+                << ',' << dt.benign_switches << ',' << st.mispredicts << ','
+                << st.fetched_wrong_path << '\n';
+      return 0;
+    }
+
+    std::cout << (cfg.use_adts
+                      ? "ADTS (" + std::string(core::name(cfg.adts.heuristic)) +
+                            ", m=" + Table::num(cfg.adts.ipc_threshold, 1) + ")"
+                      : "fixed " + std::string(policy::name(cfg.fixed_policy)))
+              << " on";
+    for (const auto& a : cfg.apps) std::cout << ' ' << a;
+    std::cout << "\nmeasured IPC " << Table::num(ipc) << " over " << cycles
+              << " cycles (+" << warmup << " warm-up)\n";
+    if (cfg.use_adts) {
+      std::cout << dt.quanta << " quanta, " << dt.low_throughput_quanta
+                << " low-throughput, " << dt.switches << " switches ("
+                << dt.benign_switches << " benign / " << dt.malignant_switches
+                << " malignant / " << dt.switches_skipped_dt_busy
+                << " skipped)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "smtsim: " << e.what() << "\n\n" << kUsage;
+    return 1;
+  }
+}

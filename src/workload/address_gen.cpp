@@ -1,0 +1,50 @@
+#include "workload/address_gen.hpp"
+
+#include <algorithm>
+
+namespace smt::workload {
+
+AddressGen::AddressGen(const AppProfile& profile, std::uint64_t base, Rng rng)
+    : base_(base),
+      working_set_(std::max<std::uint64_t>(profile.working_set_bytes, 4096)),
+      hot_set_(std::max<std::uint64_t>(profile.hot_set_bytes, 512)),
+      hot_fraction_(profile.hot_fraction),
+      warm_share_(profile.hot_fraction),
+      stride_fraction_(profile.stride_fraction),
+      rng_(rng) {
+  hot_set_ = std::min(hot_set_, working_set_);
+  warm_set_ = std::clamp<std::uint64_t>(working_set_ / 4, 8 * 1024, 96 * 1024);
+  warm_set_ = std::min(warm_set_, working_set_);
+}
+
+std::uint64_t AddressGen::next(double hot_bias) {
+  // Streaming component first: a strided walk through the working set.
+  if (stride_fraction_ > 0.0 && rng_.chance(stride_fraction_)) {
+    stride_ptr_ = (stride_ptr_ + stride_step_) % working_set_;
+    return base_ + stride_ptr_;
+  }
+
+  const double hot_p = std::clamp(hot_fraction_ + hot_bias, 0.0, 1.0);
+  if (rng_.chance(hot_p)) {
+    // Hot region: geometrically skewed over cache lines so a handful of
+    // lines take most of the traffic, as real stack/locals accesses do —
+    // they must survive the LRU pressure of the colder tiers.
+    const std::uint64_t lines = std::max<std::uint64_t>(hot_set_ / 64, 1);
+    const std::uint64_t line = std::min(rng_.geometric(4.0) - 1, lines - 1);
+    return base_ + line * 64 + rng_.below(64) / 8 * 8;
+  }
+
+  // Warm component: the heap neighbourhood currently being worked on.
+  if (rng_.chance(warm_share_)) {
+    return base_ + rng_.below(warm_set_ / 8) * 8;
+  }
+
+  // Cold component: uniform over the working set, 8-byte aligned.
+  return base_ + rng_.below(working_set_ / 8) * 8;
+}
+
+std::uint64_t AddressGen::wrong_path(Rng& wrong_rng) const {
+  return base_ + wrong_rng.below(working_set_ / 8) * 8;
+}
+
+}  // namespace smt::workload

@@ -1,0 +1,203 @@
+#include "workload/app_profile.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include <map>
+#include <stdexcept>
+
+namespace smt::workload {
+
+double InstrMix::weight(isa::InstrClass c) const noexcept {
+  using isa::InstrClass;
+  switch (c) {
+    case InstrClass::kIntAlu: return int_alu;
+    case InstrClass::kIntMul: return int_mul;
+    case InstrClass::kIntDiv: return int_div;
+    case InstrClass::kFpAdd: return fp_add;
+    case InstrClass::kFpMul: return fp_mul;
+    case InstrClass::kFpDiv: return fp_div;
+    case InstrClass::kLoad: return load;
+    case InstrClass::kStore: return store;
+    case InstrClass::kBranch: return branch;
+    case InstrClass::kSyscall: return syscall;
+  }
+  return 0.0;
+}
+
+double InstrMix::total() const noexcept {
+  return int_alu + int_mul + int_div + fp_add + fp_mul + fp_div + load +
+         store + branch + syscall;
+}
+
+namespace {
+
+using P = PhaseKind;
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+/// Helper: build an INT-suite profile. `branchy` raises branch weight and
+/// lowers predictability; `mem` raises memory weight and footprint.
+AppProfile int_app(std::string name, double ilp, double branch_w,
+                   double pred, std::uint64_t ws, double hot_frac,
+                   std::uint64_t code, std::vector<PhaseKind> phases,
+                   double swing) {
+  AppProfile p;
+  p.name = std::move(name);
+  p.mix.int_alu = 0.62 - branch_w;
+  p.mix.int_mul = 0.02;
+  p.mix.int_div = 0.004;
+  p.mix.load = 0.24;
+  p.mix.store = 0.12;
+  p.mix.branch = branch_w;
+  p.mean_dep_distance = ilp;
+  p.dep2_prob = 0.35;
+  p.working_set_bytes = ws;
+  // Hot region sized so that all eight threads' hot lines fit the shared
+  // L1D together (stack/locals traffic); the profile's hot_frac then maps
+  // almost directly onto the thread's L1D hit rate, with the cold uniform
+  // component providing the misses.
+  p.hot_set_bytes = std::min<std::uint64_t>(ws / 8, 2 * KiB);
+  p.hot_fraction = std::min(0.97, hot_frac + 0.12);
+  p.stride_fraction = 0.05;
+  p.code_bytes = code;
+  p.branch_sites = static_cast<std::uint32_t>(code / 96);
+  p.predictable_sites = pred;
+  p.phases = std::move(phases);
+  p.phase_swing = swing;
+  // Phases turn over every few scheduling quanta (a thread commits
+  // roughly 1-3K instructions per 8K-cycle quantum), giving the adaptive
+  // scheduler conditions that actually change on its timescale.
+  p.phase_len_instrs = 4000 + (mix64(p.working_set_bytes ^ p.code_bytes) % 5) * 2000;
+  return p;
+}
+
+/// Helper: build an FP-suite profile. `stride` models the regular array
+/// traversals of scientific codes; `fp_w` is total FP weight.
+AppProfile fp_app(std::string name, double ilp, double fp_w, double stride,
+                  std::uint64_t ws, double hot_frac, std::uint64_t code,
+                  std::vector<PhaseKind> phases, double swing) {
+  AppProfile p;
+  p.name = std::move(name);
+  p.mix.int_alu = 0.30;
+  p.mix.int_mul = 0.01;
+  p.mix.int_div = 0.002;
+  p.mix.fp_add = fp_w * 0.55;
+  p.mix.fp_mul = fp_w * 0.40;
+  p.mix.fp_div = fp_w * 0.05;
+  p.mix.load = 0.26;
+  p.mix.store = 0.12;
+  p.mix.branch = 0.31 - fp_w;  // FP codes are loop-dominated: few branches
+  p.mean_dep_distance = ilp;
+  p.dep2_prob = 0.45;
+  p.working_set_bytes = ws;
+  p.hot_set_bytes = std::min<std::uint64_t>(ws / 8, 4 * KiB);
+  p.hot_fraction = std::min(0.93, hot_frac + 0.07);
+  p.stride_fraction = stride;
+  p.code_bytes = code;
+  p.branch_sites = static_cast<std::uint32_t>(code / 128);
+  p.predictable_sites = 0.95;  // loop branches: highly predictable
+  p.phases = std::move(phases);
+  p.phase_swing = swing;
+  p.phase_len_instrs = 5000 + (mix64(p.working_set_bytes ^ p.code_bytes) % 5) * 2500;
+  return p;
+}
+
+std::map<std::string, AppProfile, std::less<>> build_registry() {
+  std::map<std::string, AppProfile, std::less<>> reg;
+  auto put = [&reg](AppProfile p) { reg.emplace(p.name, std::move(p)); };
+
+  // ----- SPEC CPU2000 INT-inspired profiles ---------------------------
+  //          name       ilp  br_w  pred   ws        hot   code      phases                              swing
+  put(int_app("gzip",    4.4, 0.14, 0.94,  1 * MiB,  0.82, 24 * KiB, {P::kBase, P::kCompute},            0.35));
+  put(int_app("vpr",     3.4, 0.17, 0.86,  2 * MiB,  0.70, 48 * KiB, {P::kBase, P::kBranchy, P::kMemory},0.55));
+  put(int_app("gcc",     3.2, 0.19, 0.82,  4 * MiB,  0.62, 192 * KiB,{P::kBase, P::kBranchy, P::kBase, P::kMemory}, 0.65));
+  put(int_app("mcf",     2.3, 0.13, 0.92, 48 * MiB,  0.22, 16 * KiB, {P::kMemory, P::kBase},             0.70));
+  put(int_app("crafty",  4.6, 0.18, 0.90,  1 * MiB,  0.85, 64 * KiB, {P::kBase, P::kBranchy},            0.40));
+  put(int_app("parser",  3.0, 0.20, 0.78,  8 * MiB,  0.58, 56 * KiB, {P::kBranchy, P::kBase, P::kMemory},0.60));
+  put(int_app("eon",     4.2, 0.13, 0.94,  1 * MiB,  0.88, 96 * KiB, {P::kBase, P::kCompute},            0.30));
+  put(int_app("perlbmk", 3.5, 0.19, 0.84,  4 * MiB,  0.66, 160 * KiB,{P::kBase, P::kBranchy, P::kBase},  0.55));
+  put(int_app("gap",     3.7, 0.14, 0.91,  8 * MiB,  0.60, 64 * KiB, {P::kBase, P::kMemory},             0.45));
+  put(int_app("vortex",  3.9, 0.15, 0.92, 16 * MiB,  0.55, 224 * KiB,{P::kBase, P::kMemory, P::kBase},   0.50));
+  put(int_app("bzip2",   4.1, 0.13, 0.93,  6 * MiB,  0.72, 20 * KiB, {P::kBase, P::kMemory, P::kCompute},0.50));
+  put(int_app("twolf",   3.1, 0.18, 0.83,  2 * MiB,  0.64, 48 * KiB, {P::kBranchy, P::kMemory},          0.60));
+
+  // ----- SPEC CPU2000 FP-inspired profiles ----------------------------
+  //         name        ilp  fp_w  stride ws        hot   code      phases                              swing
+  put(fp_app("wupwise",  6.0, 0.22, 0.45,  8 * MiB,  0.60, 24 * KiB, {P::kBase, P::kCompute},            0.30));
+  put(fp_app("swim",     4.8, 0.24, 0.80, 96 * MiB,  0.12, 12 * KiB, {P::kMemory, P::kBase},             0.55));
+  put(fp_app("mgrid",    5.8, 0.25, 0.75, 32 * MiB,  0.25, 12 * KiB, {P::kBase, P::kMemory},             0.40));
+  put(fp_app("applu",    5.2, 0.24, 0.70, 64 * MiB,  0.20, 16 * KiB, {P::kMemory, P::kBase, P::kCompute},0.50));
+  put(fp_app("mesa",     4.7, 0.16, 0.30,  4 * MiB,  0.78, 64 * KiB, {P::kBase, P::kCompute},            0.35));
+  put(fp_app("galgel",   5.4, 0.26, 0.55, 16 * MiB,  0.45, 20 * KiB, {P::kBase, P::kMemory},             0.45));
+  put(fp_app("art",      2.6, 0.18, 0.35, 24 * MiB,  0.10,  8 * KiB, {P::kMemory, P::kMemory, P::kBase}, 0.75));
+  put(fp_app("equake",   2.8, 0.19, 0.25, 40 * MiB,  0.18, 16 * KiB, {P::kMemory, P::kBase},             0.65));
+  put(fp_app("facerec",  4.5, 0.21, 0.50, 12 * MiB,  0.50, 24 * KiB, {P::kBase, P::kMemory, P::kCompute},0.45));
+  put(fp_app("ammp",     2.9, 0.20, 0.20, 32 * MiB,  0.24, 24 * KiB, {P::kMemory, P::kBase},             0.60));
+  put(fp_app("lucas",    5.0, 0.25, 0.65, 64 * MiB,  0.15, 10 * KiB, {P::kMemory, P::kCompute},          0.55));
+  put(fp_app("fma3d",    4.3, 0.22, 0.40, 24 * MiB,  0.42, 96 * KiB, {P::kBase, P::kMemory},             0.50));
+  put(fp_app("sixtrack", 6.4, 0.26, 0.50,  2 * MiB,  0.85, 48 * KiB, {P::kCompute, P::kBase},            0.25));
+  put(fp_app("apsi",     4.6, 0.23, 0.45, 16 * MiB,  0.48, 32 * KiB, {P::kBase, P::kMemory, P::kBranchy},0.50));
+
+  return reg;
+}
+
+const std::map<std::string, AppProfile, std::less<>>& registry() {
+  static const auto reg = build_registry();
+  return reg;
+}
+
+}  // namespace
+
+const AppProfile& profile(std::string_view name) {
+  const auto& reg = registry();
+  const auto it = reg.find(name);
+  if (it == reg.end()) {
+    throw std::out_of_range("unknown application profile: " +
+                            std::string(name));
+  }
+  return it->second;
+}
+
+const std::vector<std::string>& all_profile_names() {
+  static const std::vector<std::string> names = [] {
+    // INT suite first, then FP, in the order the paper's Table-style
+    // listings use.
+    std::vector<std::string> v{"gzip",    "vpr",     "gcc",     "mcf",
+                               "crafty",  "parser",  "eon",     "perlbmk",
+                               "gap",     "vortex",  "bzip2",   "twolf",
+                               "wupwise", "swim",    "mgrid",   "applu",
+                               "mesa",    "galgel",  "art",     "equake",
+                               "facerec", "ammp",    "lucas",   "fma3d",
+                               "sixtrack","apsi"};
+    return v;
+  }();
+  return names;
+}
+
+double profile_distance(const AppProfile& a, const AppProfile& b) {
+  auto fp_weight = [](const AppProfile& p) {
+    return p.mix.fp_add + p.mix.fp_mul + p.mix.fp_div;
+  };
+  auto mem_weight = [](const AppProfile& p) { return p.mix.load + p.mix.store; };
+  auto log_ws = [](const AppProfile& p) {
+    return std::log2(static_cast<double>(p.working_set_bytes));
+  };
+
+  // Each feature normalised to roughly [0, 1] before the Euclidean norm.
+  const double d_branch = (a.mix.branch - b.mix.branch) / 0.20;
+  const double d_mem = (mem_weight(a) - mem_weight(b)) / 0.25;
+  const double d_fp = fp_weight(a) - fp_weight(b);
+  const double d_ws = (log_ws(a) - log_ws(b)) / 14.0;  // 16 KiB .. 256 MiB
+  const double d_ilp = (a.mean_dep_distance - b.mean_dep_distance) / 5.0;
+  const double d_pred = a.predictable_sites - b.predictable_sites;
+  const double d_hot = a.hot_fraction - b.hot_fraction;
+
+  const double sq = d_branch * d_branch + d_mem * d_mem + d_fp * d_fp +
+                    d_ws * d_ws + d_ilp * d_ilp + d_pred * d_pred +
+                    d_hot * d_hot;
+  return std::sqrt(sq / 7.0);
+}
+
+}  // namespace smt::workload

@@ -1,0 +1,109 @@
+// Application behaviour profiles.
+//
+// The paper drives its SMT simulator with SPEC CPU2000 binaries. We cannot
+// ship those, so each application is replaced by a *statistical signature*
+// that synthesises an instruction stream with the same coarse behaviour:
+// instruction-class mix, ILP (register reuse distance), memory footprint
+// and locality, code footprint, branchiness and branch predictability, and
+// phase behaviour. The stream then exercises the real caches, the real
+// branch predictor and the real rename/issue machinery, so the per-thread
+// hardware counters the detector thread reads are produced by genuine
+// microarchitectural feedback, not sampled from closed-form distributions.
+//
+// Profile values are hand-calibrated to span the paper's three
+// mix-construction axes (single-thread IPC class, memory footprint,
+// INT vs FP); see DESIGN.md §6.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace smt::workload {
+
+/// Fractions of each instruction class in the dynamic stream. Stored as
+/// weights; the generator normalises. kSyscall weight should be tiny
+/// (every syscall flushes the whole pipeline, per the paper's conservative
+/// assumption).
+struct InstrMix {
+  double int_alu = 0.45;
+  double int_mul = 0.02;
+  double int_div = 0.005;
+  double fp_add = 0.0;
+  double fp_mul = 0.0;
+  double fp_div = 0.0;
+  double load = 0.25;
+  double store = 0.12;
+  double branch = 0.15;
+  double syscall = 0.00001;
+
+  [[nodiscard]] double weight(isa::InstrClass c) const noexcept;
+  [[nodiscard]] double total() const noexcept;
+};
+
+/// How a phase perturbs the base behaviour. The generator cycles through
+/// the profile's phases every `phase_len_instrs` instructions; this is
+/// what gives the adaptive scheduler time-varying conditions to react to
+/// at quantum granularity.
+enum class PhaseKind : std::uint8_t {
+  kBase,      ///< profile's nominal behaviour
+  kMemory,    ///< loads/stores up, locality down (cache-stressing phase)
+  kBranchy,   ///< branches up, biases flattened (mispredict-stressing)
+  kCompute,   ///< ALU-heavy, high locality (well-behaved phase)
+};
+
+struct AppProfile {
+  std::string name;
+
+  InstrMix mix;
+
+  // --- ILP / dependency structure -------------------------------------
+  /// Mean register reuse distance (geometric). 1.2 ≈ serial dependency
+  /// chains, 6+ ≈ lots of independent work per window.
+  double mean_dep_distance = 3.0;
+  /// Probability that an instruction has a second source dependency.
+  double dep2_prob = 0.35;
+
+  // --- data memory behaviour ------------------------------------------
+  std::uint64_t working_set_bytes = 1u << 20;  ///< total data footprint
+  std::uint64_t hot_set_bytes = 1u << 14;      ///< cache-resident hot region
+  double hot_fraction = 0.75;   ///< accesses hitting the hot region
+  double stride_fraction = 0.0; ///< sequential streaming accesses (FP codes)
+
+  // --- code / branch behaviour ----------------------------------------
+  std::uint64_t code_bytes = 1u << 15;  ///< static code footprint (I-cache)
+  std::uint32_t branch_sites = 256;     ///< distinct static branches
+  /// Fraction of branch sites that are strongly biased (trivially
+  /// predictable); the rest draw a taken-rate in [0.25, 0.75] and are what
+  /// generates real mispredictions.
+  double predictable_sites = 0.85;
+
+  // --- phase behaviour --------------------------------------------------
+  std::vector<PhaseKind> phases{PhaseKind::kBase};
+  std::uint64_t phase_len_instrs = 60000;
+  /// Strength of the phase perturbation in [0, 1].
+  double phase_swing = 0.5;
+
+  [[nodiscard]] bool is_fp_app() const noexcept {
+    return mix.fp_add + mix.fp_mul + mix.fp_div > 0.01;
+  }
+};
+
+/// Look up a built-in profile by name; throws std::out_of_range for an
+/// unknown name. The registry covers 26 SPEC CPU2000-inspired
+/// applications (12 INT + 14 FP).
+[[nodiscard]] const AppProfile& profile(std::string_view name);
+
+/// Names of all built-in profiles, INT suite first.
+[[nodiscard]] const std::vector<std::string>& all_profile_names();
+
+/// Behavioural distance between two profiles in [0, ~1]; used by the
+/// mix-similarity experiment (paper §6: "greater improvements ... when
+/// more similar applications are found in a mixture").
+[[nodiscard]] double profile_distance(const AppProfile& a, const AppProfile& b);
+
+}  // namespace smt::workload

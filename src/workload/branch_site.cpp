@@ -1,0 +1,48 @@
+#include "workload/branch_site.hpp"
+
+#include <algorithm>
+
+#include "isa/instruction.hpp"
+
+namespace smt::workload {
+
+BranchSiteModel::BranchSiteModel(const AppProfile& profile,
+                                 std::uint64_t code_base, Rng rng) {
+  const std::uint32_t n = std::max<std::uint32_t>(profile.branch_sites, 8);
+  sites_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BranchSite s;
+    if (rng.chance(profile.predictable_sites)) {
+      // Strongly biased site: mostly-taken back edges and mostly-not-taken
+      // guard branches in roughly equal numbers.
+      s.taken_rate = rng.chance(0.55) ? rng.uniform() * 0.04 + 0.94
+                                      : rng.uniform() * 0.04 + 0.02;
+    } else {
+      // Data-dependent site: near-coin-flip, the source of mispredicts.
+      s.taken_rate = 0.25 + rng.uniform() * 0.5;
+    }
+    // Taken target: mostly short backward jumps (loops), occasionally a
+    // long forward jump — this shapes the I-cache reuse pattern.
+    const std::uint64_t code = std::max<std::uint64_t>(profile.code_bytes, 1024);
+    const std::uint64_t span = rng.chance(0.8)
+                                   ? std::min<std::uint64_t>(code, 4096)
+                                   : code;
+    s.target = code_base + rng.below(span / isa::kInstrBytes) * isa::kInstrBytes;
+    sites_.push_back(s);
+  }
+}
+
+const BranchSite& BranchSiteModel::site_for(std::uint64_t pc) const {
+  // PC-hashed site choice: the same PC always maps to the same static
+  // branch, which is what lets the real predictor learn.
+  return sites_[mix64(pc) % sites_.size()];
+}
+
+bool BranchSiteModel::outcome(std::uint64_t pc, Rng& rng,
+                              double flatten) const {
+  const BranchSite& s = site_for(pc);
+  const double rate = s.taken_rate + (0.5 - s.taken_rate) * flatten;
+  return rng.chance(rate);
+}
+
+}  // namespace smt::workload

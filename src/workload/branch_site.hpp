@@ -1,0 +1,47 @@
+// Static branch-site model.
+//
+// A profile declares `branch_sites` distinct static conditional branches
+// spread over its code footprint. Each site has a fixed taken-rate: most
+// sites are strongly biased (loop back-edges, error checks — trivially
+// learned by a 2-bit counter), and a profile-controlled minority draw a
+// taken-rate near 0.5, which is what produces real mispredictions in the
+// gshare predictor. Site selection is PC-determined, so the predictor's
+// tables see a stable PC → behaviour mapping it can actually learn — a
+// property purely random outcome streams would not have.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/app_profile.hpp"
+
+namespace smt::workload {
+
+struct BranchSite {
+  double taken_rate = 0.5;
+  std::uint64_t target = 0;  ///< taken-path target PC (within the code segment)
+};
+
+class BranchSiteModel {
+ public:
+  BranchSiteModel() = default;
+
+  /// `code_base` is the start of the thread's code segment.
+  BranchSiteModel(const AppProfile& profile, std::uint64_t code_base, Rng rng);
+
+  /// The site occupying a given branch PC. Deterministic per PC.
+  [[nodiscard]] const BranchSite& site_for(std::uint64_t pc) const;
+
+  /// Sample an outcome for the branch at `pc`.
+  /// `flatten` in [0,1] pushes taken-rates toward 0.5 (branchy phases make
+  /// branches harder to predict).
+  [[nodiscard]] bool outcome(std::uint64_t pc, Rng& rng, double flatten) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sites_.size(); }
+
+ private:
+  std::vector<BranchSite> sites_;
+};
+
+}  // namespace smt::workload

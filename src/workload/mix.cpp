@@ -1,0 +1,94 @@
+#include "workload/mix.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "workload/app_profile.hpp"
+
+namespace smt::workload {
+
+double Mix::diversity() const {
+  if (apps.size() < 2) return 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    for (std::size_t j = i + 1; j < apps.size(); ++j) {
+      sum += profile_distance(profile(apps[i]), profile(apps[j]));
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+const std::vector<Mix>& all_mixes() {
+  static const std::vector<Mix> mixes = {
+      // --- homogeneous-by-behaviour -----------------------------------
+      {"ctrl8",
+       "control-intensive: branchy INT codes; stresses the predictor, the"
+       " case the paper's BRCOUNT example (§1) is about",
+       {"gcc", "parser", "twolf", "vpr", "perlbmk", "crafty", "gap", "eon"}},
+      {"mem8",
+       "memory-bound: large-footprint, low-locality codes; stresses L1/L2"
+       " and the load/store queue",
+       {"mcf", "art", "swim", "equake", "ammp", "lucas", "applu", "parser"}},
+      {"ilp8",
+       "high-ILP: long dependency distances, cache-resident footprints;"
+       " near-saturating baseline throughput",
+       {"sixtrack", "wupwise", "mgrid", "crafty", "gzip", "eon", "mesa",
+        "bzip2"}},
+      {"cache8",
+       "cache-thrashers: the worst per-thread hit rates of both suites",
+       {"art", "mcf", "swim", "lucas", "equake", "ammp", "applu", "vortex"}},
+      // --- balanced INT/FP ---------------------------------------------
+      {"bal1", "4 INT + 4 FP, spanning IPC classes",
+       {"gzip", "gcc", "mcf", "crafty", "swim", "mesa", "art", "sixtrack"}},
+      {"bal2", "4 INT + 4 FP, mid-range footprints",
+       {"vpr", "parser", "vortex", "bzip2", "wupwise", "equake", "facerec",
+        "apsi"}},
+      {"bal3", "4 INT + 4 FP, branchy INT half",
+       {"eon", "perlbmk", "gap", "twolf", "mgrid", "galgel", "ammp",
+        "fma3d"}},
+      {"bal4", "4 INT + 4 FP, extremes of footprint in both halves",
+       {"gzip", "mcf", "twolf", "vortex", "swim", "sixtrack", "art", "mesa"}},
+      // --- mixed multiprogramming sets ----------------------------------
+      {"int8", "the first eight INT-suite profiles",
+       {"gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk"}},
+      {"span8", "INT tail + FP head: moderate diversity",
+       {"gap", "vortex", "bzip2", "twolf", "wupwise", "swim", "mgrid",
+        "applu"}},
+      {"fp8", "eight FP-suite profiles",
+       {"mesa", "galgel", "art", "equake", "facerec", "ammp", "lucas",
+        "fma3d"}},
+      {"var1", "high-variance set: thrashers next to compute kernels",
+       {"sixtrack", "apsi", "gzip", "swim", "gcc", "art", "crafty",
+        "equake"}},
+      {"var2", "high-variance set: serial chasers next to wide ILP",
+       {"mcf", "sixtrack", "parser", "mgrid", "twolf", "lucas", "eon",
+        "facerec"}},
+  };
+  return mixes;
+}
+
+const Mix& mix(std::string_view name) {
+  for (const Mix& m : all_mixes()) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("unknown mix: " + std::string(name));
+}
+
+std::vector<std::string> mix_for_threads(const Mix& m, std::size_t threads,
+                                         std::uint64_t seed) {
+  if (threads == 0 || threads > m.apps.size()) {
+    throw std::invalid_argument("mix_for_threads: bad thread count");
+  }
+  std::vector<std::string> apps = m.apps;
+  Rng rng = make_stream(seed, {0x5e1ec7, threads});
+  // Random exclusion, one at a time (paper §5).
+  while (apps.size() > threads) {
+    apps.erase(apps.begin() +
+               static_cast<std::ptrdiff_t>(rng.below(apps.size())));
+  }
+  return apps;
+}
+
+}  // namespace smt::workload

@@ -1,0 +1,40 @@
+// The thirteen application mixes of the evaluation.
+//
+// The paper forms thirteen program mixtures from SPEC CPU2000 "depending
+// on each program's properties: IPC on a single threaded machine model,
+// memory footprint and whether an application requires floating-point
+// operations". We follow the same construction over the synthetic
+// profiles: four homogeneous-by-behaviour mixes, four balanced INT/FP
+// mixes, and five mixed multiprogramming sets. For 4- and 6-thread runs,
+// members are randomly excluded from the 8-thread mix, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smt::workload {
+
+struct Mix {
+  std::string name;
+  std::string description;
+  std::vector<std::string> apps;  ///< 8 profile names
+
+  /// Mean pairwise profile_distance between members; low = homogeneous.
+  [[nodiscard]] double diversity() const;
+};
+
+/// The thirteen evaluation mixes, in a stable order.
+[[nodiscard]] const std::vector<Mix>& all_mixes();
+
+/// Look up a mix by name; throws std::out_of_range when unknown.
+[[nodiscard]] const Mix& mix(std::string_view name);
+
+/// Reduce a mix to `threads` members by deterministic random exclusion
+/// (paper §5). `threads` must be in [1, apps.size()].
+[[nodiscard]] std::vector<std::string> mix_for_threads(const Mix& m,
+                                                       std::size_t threads,
+                                                       std::uint64_t seed);
+
+}  // namespace smt::workload

@@ -1,0 +1,95 @@
+// Per-thread instruction stream synthesiser.
+//
+// A ThreadProgram combines an application profile with the address,
+// branch-site and dependency models to emit the thread's dynamic
+// *correct-path* instruction stream, one instruction per call. It also
+// synthesises wrong-path filler instructions (fetched after a
+// misprediction, squashed at branch resolution) from an isolated RNG so
+// that wrong-path activity never perturbs the correct-path stream — the
+// property that makes squash-and-replay and simulator snapshots exact.
+//
+// The generator is phase-driven: every `phase_len_instrs` correct-path
+// instructions it rotates to the profile's next PhaseKind, perturbing the
+// class mix, data locality and branch predictability. Phases are the
+// time-varying behaviour that gives the paper's quantum-granularity
+// adaptive scheduler something to adapt to.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "isa/instruction.hpp"
+#include "workload/address_gen.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/branch_site.hpp"
+
+namespace smt::workload {
+
+class ThreadProgram {
+ public:
+  ThreadProgram() = default;
+
+  /// `thread_id` selects disjoint code/data segments and decorrelated RNG
+  /// streams; `seed` is the run's master workload seed.
+  ThreadProgram(const AppProfile& profile, std::uint32_t thread_id,
+                std::uint64_t seed);
+
+  /// PC of the next correct-path instruction (needed by fetch for the
+  /// I-cache access and the cache-block-boundary check *before*
+  /// consuming the instruction).
+  [[nodiscard]] std::uint64_t pc() const noexcept { return pc_; }
+
+  /// Consume and return the next correct-path instruction.
+  [[nodiscard]] isa::Instruction next();
+
+  /// Synthesize a wrong-path instruction at `wrong_pc`, and advance
+  /// `wrong_pc` the way a front end blindly following predicted control
+  /// flow would. Never touches correct-path state.
+  [[nodiscard]] isa::Instruction next_wrong(std::uint64_t& wrong_pc);
+
+  [[nodiscard]] const AppProfile& app() const noexcept { return profile_; }
+  [[nodiscard]] std::uint64_t generated() const noexcept { return count_; }
+  [[nodiscard]] PhaseKind current_phase() const noexcept {
+    return profile_.phases.empty() ? PhaseKind::kBase
+                                   : profile_.phases[phase_idx_];
+  }
+
+  /// Total bytes of the per-thread code segment (I-cache footprint).
+  [[nodiscard]] std::uint64_t code_base() const noexcept { return code_base_; }
+
+ private:
+  void enter_phase(std::size_t idx);
+  [[nodiscard]] isa::InstrClass draw_class(Rng& rng) const;
+  void fill_common(isa::Instruction& in, Rng& class_rng, bool wrong);
+
+  /// Branch placement is a deterministic function of the PC, as in real
+  /// code: the predictor sees a stable set of static branch sites it can
+  /// actually learn. The stochastic class mix only covers the non-branch
+  /// classes.
+  [[nodiscard]] bool is_branch_pc(std::uint64_t pc) const noexcept;
+
+  AppProfile profile_{};
+  std::uint64_t code_base_ = 0;
+  std::uint64_t pc_ = 0;
+  std::uint64_t count_ = 0;
+
+  AddressGen addr_gen_{};
+  BranchSiteModel branches_{};
+
+  Rng class_rng_{};
+  Rng dep_rng_{};
+  Rng branch_rng_{};
+  Rng wrong_rng_{};
+
+  // Phase state (recomputed on phase entry).
+  std::size_t phase_idx_ = 0;
+  std::array<double, isa::kNumInstrClasses> cum_weights_{};  ///< non-branch
+  double total_weight_ = 1.0;
+  double branch_frac_ = 0.15;  ///< dynamic branch fraction (PC-determined)
+  double hot_bias_ = 0.0;
+  double flatten_ = 0.0;
+  std::uint64_t branch_pc_salt_ = 0;
+};
+
+}  // namespace smt::workload

@@ -1,0 +1,107 @@
+// Unit tests: address stream generator (workload/address_gen.hpp).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workload/address_gen.hpp"
+#include "workload/app_profile.hpp"
+
+namespace smt::workload {
+namespace {
+
+AddressGen make_gen(const char* app, std::uint64_t base = 1 << 30) {
+  return AddressGen(profile(app), base, Rng(77));
+}
+
+TEST(AddressGen, AddressesWithinSegment) {
+  const AppProfile& p = profile("gzip");
+  AddressGen g(p, 1 << 30, Rng(1));
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = g.next();
+    EXPECT_GE(a, std::uint64_t{1} << 30);
+    EXPECT_LT(a, (std::uint64_t{1} << 30) + p.working_set_bytes);
+  }
+}
+
+TEST(AddressGen, DeterministicForSameRng) {
+  AddressGen a = make_gen("vpr");
+  AddressGen b = make_gen("vpr");
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(AddressGen, HotRegionDominatesForLocalApps) {
+  const AppProfile& p = profile("eon");  // high hot_fraction
+  AddressGen g(p, 0, Rng(3));
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (g.next() < p.hot_set_bytes) ++hot;
+  }
+  EXPECT_GT(static_cast<double>(hot) / n, 0.6);
+}
+
+TEST(AddressGen, ThrashersSpreadWide) {
+  const AppProfile& p = profile("art");  // hot_fraction ~0.1
+  AddressGen g(p, 0, Rng(3));
+  int beyond_l2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (g.next() > 4u * 1024 * 1024) ++beyond_l2;
+  }
+  // A meaningful share of art's accesses must fall outside any cache.
+  EXPECT_GT(static_cast<double>(beyond_l2) / n, 0.1);
+}
+
+TEST(AddressGen, StrideComponentAdvancesSequentially) {
+  AppProfile p = profile("swim");  // stride 0.80
+  p.hot_fraction = 0.0;            // isolate the stream
+  p.stride_fraction = 1.0;
+  AddressGen g(p, 0, Rng(5));
+  std::uint64_t prev = g.next();
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t cur = g.next();
+    EXPECT_EQ(cur, prev + 8) << "streaming accesses must be sequential";
+    prev = cur;
+  }
+}
+
+TEST(AddressGen, HotBiasShiftsLocality) {
+  const AppProfile& p = profile("gcc");
+  AddressGen g1(p, 0, Rng(9));
+  AddressGen g2(p, 0, Rng(9));
+  int hot_neutral = 0;
+  int hot_lowered = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (g1.next(0.0) < p.hot_set_bytes) ++hot_neutral;
+    if (g2.next(-0.5) < p.hot_set_bytes) ++hot_lowered;
+  }
+  EXPECT_GT(hot_neutral, hot_lowered);
+}
+
+TEST(AddressGen, WrongPathDoesNotTouchGeneratorState) {
+  AddressGen a = make_gen("parser");
+  AddressGen b = make_gen("parser");
+  Rng wrong(123);
+  for (int i = 0; i < 50; ++i) (void)a.wrong_path(wrong);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(AddressGen, WrongPathStaysInSegment) {
+  const AppProfile& p = profile("mcf");
+  AddressGen g(p, 1 << 20, Rng(4));
+  Rng wrong(5);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = g.wrong_path(wrong);
+    EXPECT_GE(a, std::uint64_t{1} << 20);
+    EXPECT_LT(a, (std::uint64_t{1} << 20) + p.working_set_bytes);
+  }
+}
+
+TEST(AddressGen, EightByteAligned) {
+  AddressGen g = make_gen("gap", 0);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(g.next() % 8, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace smt::workload

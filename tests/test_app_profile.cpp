@@ -1,0 +1,115 @@
+// Unit tests: application profile registry (workload/app_profile.hpp).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/app_profile.hpp"
+
+namespace smt::workload {
+namespace {
+
+TEST(AppProfile, RegistryHasTwentySixProfiles) {
+  EXPECT_EQ(all_profile_names().size(), 26u);
+}
+
+TEST(AppProfile, AllNamesResolve) {
+  for (const auto& name : all_profile_names()) {
+    EXPECT_NO_THROW({
+      const AppProfile& p = profile(name);
+      EXPECT_EQ(p.name, name);
+    });
+  }
+}
+
+TEST(AppProfile, UnknownNameThrows) {
+  EXPECT_THROW((void)profile("not-a-spec-app"), std::out_of_range);
+}
+
+TEST(AppProfile, IntAndFpSuitesSplit) {
+  int int_apps = 0;
+  int fp_apps = 0;
+  for (const auto& name : all_profile_names()) {
+    (profile(name).is_fp_app() ? fp_apps : int_apps)++;
+  }
+  EXPECT_EQ(int_apps, 12);  // SPEC CPU2000 INT
+  EXPECT_EQ(fp_apps, 14);   // SPEC CPU2000 FP
+}
+
+TEST(AppProfile, MixWeightsArePositiveAndBounded) {
+  for (const auto& name : all_profile_names()) {
+    const AppProfile& p = profile(name);
+    const double total = p.mix.total();
+    EXPECT_GT(total, 0.5) << name;
+    EXPECT_LT(total, 1.5) << name;
+    EXPECT_GT(p.mix.branch, 0.0) << name;
+    EXPECT_GT(p.mix.load, 0.0) << name;
+    EXPECT_LT(p.mix.syscall, 0.001) << name;
+  }
+}
+
+TEST(AppProfile, WeightAccessorMatchesFields) {
+  InstrMix m;
+  m.int_alu = 0.5;
+  m.load = 0.3;
+  EXPECT_DOUBLE_EQ(m.weight(isa::InstrClass::kIntAlu), 0.5);
+  EXPECT_DOUBLE_EQ(m.weight(isa::InstrClass::kLoad), 0.3);
+  EXPECT_DOUBLE_EQ(m.weight(isa::InstrClass::kFpDiv), 0.0);
+}
+
+TEST(AppProfile, FootprintsSpanTheAxis) {
+  // The mixes are constructed on a memory-footprint axis; the registry
+  // must span it by more than two orders of magnitude.
+  std::uint64_t min_ws = ~0ull;
+  std::uint64_t max_ws = 0;
+  for (const auto& name : all_profile_names()) {
+    min_ws = std::min(min_ws, profile(name).working_set_bytes);
+    max_ws = std::max(max_ws, profile(name).working_set_bytes);
+  }
+  EXPECT_GE(max_ws / min_ws, 32u);
+}
+
+TEST(AppProfile, HotSetNeverExceedsWorkingSet) {
+  for (const auto& name : all_profile_names()) {
+    const AppProfile& p = profile(name);
+    EXPECT_LE(p.hot_set_bytes, p.working_set_bytes) << name;
+    EXPECT_GE(p.hot_fraction, 0.0) << name;
+    EXPECT_LE(p.hot_fraction, 1.0) << name;
+  }
+}
+
+TEST(AppProfile, EveryProfileHasPhases) {
+  for (const auto& name : all_profile_names()) {
+    const AppProfile& p = profile(name);
+    EXPECT_FALSE(p.phases.empty()) << name;
+    EXPECT_GT(p.phase_len_instrs, 0u) << name;
+    EXPECT_GE(p.phase_swing, 0.0) << name;
+    EXPECT_LE(p.phase_swing, 1.0) << name;
+  }
+}
+
+TEST(AppProfile, DistanceIsMetricLike) {
+  const AppProfile& gzip = profile("gzip");
+  const AppProfile& mcf = profile("mcf");
+  const AppProfile& swim = profile("swim");
+  EXPECT_NEAR(profile_distance(gzip, gzip), 0.0, 1e-12);
+  EXPECT_NEAR(profile_distance(gzip, mcf), profile_distance(mcf, gzip), 1e-12);
+  EXPECT_GT(profile_distance(gzip, mcf), 0.05);
+  EXPECT_GT(profile_distance(gzip, swim), 0.05);
+}
+
+TEST(AppProfile, SimilarAppsCloserThanDissimilar) {
+  // gzip and bzip2 are both small-footprint INT compressors; gzip vs the
+  // thrashing FP code art must be farther apart.
+  const double close = profile_distance(profile("gzip"), profile("bzip2"));
+  const double far = profile_distance(profile("gzip"), profile("art"));
+  EXPECT_LT(close, far);
+}
+
+TEST(AppProfile, NamesAreUnique) {
+  std::set<std::string> seen(all_profile_names().begin(),
+                             all_profile_names().end());
+  EXPECT_EQ(seen.size(), all_profile_names().size());
+}
+
+}  // namespace
+}  // namespace smt::workload

@@ -1,0 +1,104 @@
+// Unit tests: static branch-site model (workload/branch_site.hpp).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workload/branch_site.hpp"
+
+namespace smt::workload {
+namespace {
+
+BranchSiteModel make_model(const char* app, std::uint64_t base = 0) {
+  return BranchSiteModel(profile(app), base, Rng(11));
+}
+
+TEST(BranchSite, SiteForIsDeterministicPerPc) {
+  BranchSiteModel m = make_model("gcc");
+  const BranchSite& a = m.site_for(0x1000);
+  const BranchSite& b = m.site_for(0x1000);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(BranchSite, SitesHaveSaneTakenRates) {
+  BranchSiteModel m = make_model("vpr");
+  for (std::uint64_t pc = 0; pc < 4096; pc += 4) {
+    const BranchSite& s = m.site_for(pc);
+    EXPECT_GT(s.taken_rate, 0.0);
+    EXPECT_LT(s.taken_rate, 1.0);
+  }
+}
+
+TEST(BranchSite, TargetsWithinCodeSegment) {
+  const AppProfile& p = profile("crafty");
+  BranchSiteModel m(p, 1 << 20, Rng(7));
+  for (std::uint64_t pc = 0; pc < 2048; pc += 4) {
+    const BranchSite& s = m.site_for(pc);
+    EXPECT_GE(s.target, std::uint64_t{1} << 20);
+    EXPECT_LT(s.target, (std::uint64_t{1} << 20) + p.code_bytes);
+  }
+}
+
+TEST(BranchSite, OutcomeFrequencyTracksSiteRate) {
+  BranchSiteModel m = make_model("eon");
+  Rng rng(42);
+  const std::uint64_t pc = 0x40;
+  const double rate = m.site_for(pc).taken_rate;
+  int taken = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (m.outcome(pc, rng, 0.0)) ++taken;
+  }
+  EXPECT_NEAR(static_cast<double>(taken) / n, rate, 0.02);
+}
+
+TEST(BranchSite, FlattenPushesTowardCoinFlip) {
+  BranchSiteModel m = make_model("gzip");
+  Rng rng(42);
+  // Find a strongly biased site.
+  std::uint64_t pc = 0;
+  for (std::uint64_t c = 0; c < 8192; c += 4) {
+    if (m.site_for(c).taken_rate > 0.9) {
+      pc = c;
+      break;
+    }
+  }
+  ASSERT_GT(m.site_for(pc).taken_rate, 0.9);
+  int taken_flat = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (m.outcome(pc, rng, 1.0)) ++taken_flat;
+  }
+  // Full flatten: the site behaves as a coin flip.
+  EXPECT_NEAR(static_cast<double>(taken_flat) / n, 0.5, 0.02);
+}
+
+TEST(BranchSite, PredictabilityKnobControlsBiasedShare) {
+  // A profile with high predictable_sites must have more strongly-biased
+  // sites than one with low.
+  AppProfile hi = profile("gzip");
+  hi.predictable_sites = 0.95;
+  AppProfile lo = profile("gzip");
+  lo.predictable_sites = 0.30;
+  BranchSiteModel mh(hi, 0, Rng(3));
+  BranchSiteModel ml(lo, 0, Rng(3));
+  auto biased_share = [](const BranchSiteModel& m) {
+    int biased = 0;
+    int total = 0;
+    for (std::uint64_t pc = 0; pc < 64 * 1024; pc += 4) {
+      const double r = m.site_for(pc).taken_rate;
+      if (r < 0.1 || r > 0.9) ++biased;
+      ++total;
+    }
+    return static_cast<double>(biased) / total;
+  };
+  EXPECT_GT(biased_share(mh), biased_share(ml) + 0.2);
+}
+
+TEST(BranchSite, ModelHasAtLeastMinimumSites) {
+  AppProfile p = profile("gzip");
+  p.branch_sites = 1;  // degenerate request
+  BranchSiteModel m(p, 0, Rng(2));
+  EXPECT_GE(m.size(), 8u);
+}
+
+}  // namespace
+}  // namespace smt::workload

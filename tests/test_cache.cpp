@@ -1,0 +1,145 @@
+// Unit tests: set-associative cache (mem/cache.hpp).
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace smt::mem {
+namespace {
+
+CacheConfig small_cfg() {
+  // 4 sets x 2 ways x 64 B lines = 512 B.
+  return CacheConfig{"test", 512, 64, 2};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(small_cfg());
+  EXPECT_FALSE(c.access(0x100, false));
+  EXPECT_TRUE(c.access(0x100, false));
+  EXPECT_TRUE(c.access(0x13F, false)) << "same 64B line must hit";
+  EXPECT_FALSE(c.access(0x140, false)) << "next line is cold";
+}
+
+TEST(Cache, StatsCount) {
+  Cache c(small_cfg());
+  c.access(0, false);
+  c.access(0, false);
+  c.access(64, false);
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_NEAR(c.miss_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  Cache c(small_cfg());  // 2 ways per set; set stride = 4 sets * 64 = 256
+  const std::uint64_t a = 0x000;
+  const std::uint64_t b = 0x100;  // same set (4 sets x 64B → set 0)
+  const std::uint64_t d = 0x200;  // same set again
+  c.access(a, false);
+  c.access(b, false);
+  c.access(a, false);      // a more recent than b
+  c.access(d, false);      // evicts b (LRU)
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_FALSE(c.contains(b));
+  EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, ContainsDoesNotMutate) {
+  Cache c(small_cfg());
+  c.access(0, false);
+  const std::uint64_t hits = c.hits();
+  const std::uint64_t misses = c.misses();
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_EQ(c.hits(), hits);
+  EXPECT_EQ(c.misses(), misses);
+}
+
+TEST(Cache, DirtyEvictionTracking) {
+  Cache c(small_cfg());
+  c.access(0x000, true);   // dirty line in set 0
+  c.access(0x100, false);  // clean line, same set
+  c.access(0x200, false);  // evicts the dirty LRU line
+  EXPECT_EQ(c.evictions(), 1u);
+  EXPECT_EQ(c.dirty_evictions(), 1u);
+}
+
+TEST(Cache, WriteMarksExistingLineDirty) {
+  Cache c(small_cfg());
+  c.access(0x000, false);  // clean install
+  c.access(0x000, true);   // dirty it
+  c.access(0x100, false);
+  c.access(0x200, false);  // evict 0x000
+  EXPECT_EQ(c.dirty_evictions(), 1u);
+}
+
+TEST(Cache, DifferentSetsDoNotConflict) {
+  Cache c(small_cfg());
+  // 4 sets: fill one line in each; no evictions possible.
+  for (std::uint64_t s = 0; s < 4; ++s) c.access(s * 64, false);
+  for (std::uint64_t s = 0; s < 4; ++s) EXPECT_TRUE(c.contains(s * 64));
+  EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(Cache, ClearEmptiesEverything) {
+  Cache c(small_cfg());
+  c.access(0, false);
+  c.clear();
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(CacheConfig{"bad", 512, 63, 2}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{"bad", 512, 64, 0}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{"bad", 768, 64, 2}), std::invalid_argument);
+}
+
+TEST(Cache, FullAssociativityWorks) {
+  // One set, 8 ways.
+  Cache c(CacheConfig{"fa", 512, 64, 8});
+  for (std::uint64_t i = 0; i < 8; ++i) c.access(i * 64, false);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_TRUE(c.contains(i * 64));
+  c.access(8 * 64, false);
+  EXPECT_FALSE(c.contains(0)) << "LRU way evicted";
+}
+
+TEST(Cache, CopyIsIndependentState) {
+  Cache a(small_cfg());
+  a.access(0, false);
+  Cache b = a;
+  b.access(0x40, false);
+  EXPECT_TRUE(b.contains(0x40));
+  EXPECT_FALSE(a.contains(0x40));
+}
+
+class CacheSweepTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CacheSweepTest, WorkingSetLargerThanCacheThrashes) {
+  const std::uint32_t ways = GetParam();
+  Cache c(CacheConfig{"sweep", 4096, 64, ways});
+  // Cyclic sweep over 2x the capacity: with true LRU every access misses.
+  const std::uint64_t lines = 2 * 4096 / 64;
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t i = 0; i < lines; ++i) c.access(i * 64, false);
+  }
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 1.0);
+}
+
+TEST_P(CacheSweepTest, WorkingSetWithinCacheEventuallyAllHits) {
+  const std::uint32_t ways = GetParam();
+  Cache c(CacheConfig{"sweep", 4096, 64, ways});
+  const std::uint64_t lines = 4096 / 64;
+  for (std::uint64_t i = 0; i < lines; ++i) c.access(i * 64, false);
+  const std::uint64_t misses_after_fill = c.misses();
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t i = 0; i < lines; ++i) c.access(i * 64, false);
+  }
+  EXPECT_EQ(c.misses(), misses_after_fill) << "resident set must not miss";
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, CacheSweepTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace smt::mem

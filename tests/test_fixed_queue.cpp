@@ -1,0 +1,121 @@
+// Unit tests: FixedQueue (common/fixed_queue.hpp).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/fixed_queue.hpp"
+
+namespace smt {
+namespace {
+
+TEST(FixedQueue, StartsEmpty) {
+  FixedQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 4u);
+}
+
+TEST(FixedQueue, PushPopFifoOrder) {
+  FixedQueue<int> q(4);
+  q.push_back(1);
+  q.push_back(2);
+  q.push_back(3);
+  EXPECT_EQ(q.pop_front(), 1);
+  EXPECT_EQ(q.pop_front(), 2);
+  EXPECT_EQ(q.pop_front(), 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, WrapsAroundCapacity) {
+  FixedQueue<int> q(3);
+  for (int round = 0; round < 10; ++round) {
+    q.push_back(round * 10);
+    q.push_back(round * 10 + 1);
+    EXPECT_EQ(q.pop_front(), round * 10);
+    EXPECT_EQ(q.pop_front(), round * 10 + 1);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, FullAtCapacity) {
+  FixedQueue<int> q(2);
+  q.push_back(1);
+  EXPECT_FALSE(q.full());
+  q.push_back(2);
+  EXPECT_TRUE(q.full());
+}
+
+TEST(FixedQueue, PopBackRemovesNewest) {
+  FixedQueue<int> q(4);
+  q.push_back(1);
+  q.push_back(2);
+  q.push_back(3);
+  q.pop_back();
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.back(), 2);
+  EXPECT_EQ(q.front(), 1);
+}
+
+TEST(FixedQueue, IndexingIsHeadRelative) {
+  FixedQueue<int> q(4);
+  q.push_back(10);
+  q.push_back(11);
+  q.push_back(12);
+  q.pop_front();
+  q.push_back(13);  // storage wrapped
+  EXPECT_EQ(q[0], 11);
+  EXPECT_EQ(q[1], 12);
+  EXPECT_EQ(q[2], 13);
+}
+
+TEST(FixedQueue, FrontAndBackAccessors) {
+  FixedQueue<std::string> q(3);
+  q.push_back("a");
+  q.push_back("b");
+  EXPECT_EQ(q.front(), "a");
+  EXPECT_EQ(q.back(), "b");
+  q.front() = "x";
+  EXPECT_EQ(q.pop_front(), "x");
+}
+
+TEST(FixedQueue, ClearResets) {
+  FixedQueue<int> q(3);
+  q.push_back(1);
+  q.push_back(2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push_back(9);
+  EXPECT_EQ(q.front(), 9);
+}
+
+TEST(FixedQueue, CopyIsIndependent) {
+  FixedQueue<int> a(4);
+  a.push_back(1);
+  a.push_back(2);
+  FixedQueue<int> b = a;
+  b.pop_front();
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(a.front(), 1);
+  EXPECT_EQ(b.front(), 2);
+}
+
+TEST(FixedQueue, ZeroCapacityClampsToOne) {
+  FixedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  q.push_back(5);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.pop_front(), 5);
+}
+
+TEST(FixedQueue, MoveOnlyFriendlyValueSemantics) {
+  FixedQueue<std::unique_ptr<int>> q(2);
+  q.push_back(std::make_unique<int>(42));
+  auto p = q.pop_front();
+  EXPECT_EQ(*p, 42);
+}
+
+}  // namespace
+}  // namespace smt

@@ -1,0 +1,215 @@
+// Unit tests: ADTS policy-determination heuristics (core/heuristics.hpp).
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+
+namespace smt::core {
+namespace {
+
+using policy::FetchPolicy;
+
+constexpr SystemConditions kNone{false, false};
+constexpr SystemConditions kMem{true, false};
+constexpr SystemConditions kBr{false, true};
+constexpr SystemConditions kBoth{true, true};
+
+std::optional<Decision> decide(HeuristicType h, FetchPolicy inc,
+                               SystemConditions c, double last = 1.0,
+                               double prev = 2.0,
+                               const SwitchHistory* hist = nullptr) {
+  return determine_next_policy(h, inc, c, last, prev, hist);
+}
+
+TEST(Heuristics, FiveTypes) {
+  EXPECT_EQ(all_heuristics().size(), 5u);
+  EXPECT_EQ(name(HeuristicType::kType3Prime), "Type3'");
+}
+
+// --- Type 1: blind toggle ----------------------------------------------
+TEST(Heuristics, Type1TogglesIcountBrcount) {
+  auto d = decide(HeuristicType::kType1, FetchPolicy::kIcount, kNone);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kBrcount);
+  d = decide(HeuristicType::kType1, FetchPolicy::kBrcount, kBoth);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kIcount);
+}
+
+TEST(Heuristics, Type1IgnoresConditionsAndGradient) {
+  // Even with improving IPC and no conditions, Type 1 switches.
+  auto d = decide(HeuristicType::kType1, FetchPolicy::kIcount, kNone,
+                  /*last=*/5.0, /*prev=*/1.0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kBrcount);
+}
+
+// --- Type 2: three-state cycle ------------------------------------------
+TEST(Heuristics, Type2CyclesThreeStates) {
+  auto d = decide(HeuristicType::kType2, FetchPolicy::kIcount, kNone);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kL1MissCount);
+  d = decide(HeuristicType::kType2, FetchPolicy::kL1MissCount, kNone);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kBrcount);
+  d = decide(HeuristicType::kType2, FetchPolicy::kBrcount, kNone);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kIcount);
+}
+
+// --- Type 3: condition-driven FSM ---------------------------------------
+TEST(Heuristics, Type3FromIcountBranchPressureWins) {
+  auto d = decide(HeuristicType::kType3, FetchPolicy::kIcount, kBr);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kBrcount);
+  EXPECT_TRUE(d->cond_value);
+}
+
+TEST(Heuristics, Type3FromIcountMemPressure) {
+  auto d = decide(HeuristicType::kType3, FetchPolicy::kIcount, kMem);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kL1MissCount);
+}
+
+TEST(Heuristics, Type3FromIcountNoConditionsStays) {
+  EXPECT_FALSE(decide(HeuristicType::kType3, FetchPolicy::kIcount, kNone));
+}
+
+TEST(Heuristics, Type3FromBrcountUsesCondMem) {
+  auto d = decide(HeuristicType::kType3, FetchPolicy::kBrcount, kMem);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kL1MissCount);
+  d = decide(HeuristicType::kType3, FetchPolicy::kBrcount, kNone);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kIcount) << "paper: !COND_MEM → ICOUNT";
+}
+
+TEST(Heuristics, Type3FromL1MissUsesCondBr) {
+  auto d = decide(HeuristicType::kType3, FetchPolicy::kL1MissCount, kBr);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kBrcount);
+  d = decide(HeuristicType::kType3, FetchPolicy::kL1MissCount, kNone);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kIcount);
+}
+
+TEST(Heuristics, Type3IgnoresGradient) {
+  auto d = decide(HeuristicType::kType3, FetchPolicy::kIcount, kBr,
+                  /*last=*/3.0, /*prev=*/1.0);
+  EXPECT_TRUE(d) << "plain Type 3 has no gradient rule";
+}
+
+// --- Type 3′: gradient rule ---------------------------------------------
+TEST(Heuristics, Type3PrimeHoldsWhileImproving) {
+  EXPECT_FALSE(decide(HeuristicType::kType3Prime, FetchPolicy::kIcount, kBr,
+                      /*last=*/2.0, /*prev=*/1.0));
+}
+
+TEST(Heuristics, Type3PrimeSwitchesWhileDeclining) {
+  auto d = decide(HeuristicType::kType3Prime, FetchPolicy::kIcount, kBr,
+                  /*last=*/1.0, /*prev=*/2.0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kBrcount);
+}
+
+// --- Type 4: history reversal -------------------------------------------
+TEST(Heuristics, Type4FollowsRegularWithPositiveHistory) {
+  SwitchHistory h;
+  h.record(FetchPolicy::kIcount, true, true);
+  h.record(FetchPolicy::kIcount, true, true);
+  h.record(FetchPolicy::kIcount, true, false);
+  auto d = decide(HeuristicType::kType4, FetchPolicy::kIcount, kBr, 1.0, 2.0,
+                  &h);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kBrcount);
+  EXPECT_FALSE(d->reversed);
+}
+
+TEST(Heuristics, Type4ReversesWithNegativeHistory) {
+  SwitchHistory h;
+  h.record(FetchPolicy::kIcount, true, false);
+  h.record(FetchPolicy::kIcount, true, false);
+  auto d = decide(HeuristicType::kType4, FetchPolicy::kIcount, kBr, 1.0, 2.0,
+                  &h);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kL1MissCount)
+      << "paper §4.3.2: opposite of the regular BRCOUNT transition";
+  EXPECT_TRUE(d->reversed);
+}
+
+TEST(Heuristics, Type4EmptyHistoryActsRegular) {
+  SwitchHistory h;
+  auto d = decide(HeuristicType::kType4, FetchPolicy::kBrcount, kMem, 1.0,
+                  2.0, &h);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->next, FetchPolicy::kL1MissCount);
+  EXPECT_FALSE(d->reversed);
+}
+
+TEST(Heuristics, Type4KeepsGradientRule) {
+  SwitchHistory h;
+  EXPECT_FALSE(decide(HeuristicType::kType4, FetchPolicy::kIcount, kBoth,
+                      /*last=*/2.0, /*prev=*/1.0, &h));
+}
+
+// --- condition evaluation ------------------------------------------------
+TEST(Heuristics, ConditionsUseThresholds) {
+  ConditionThresholds t;
+  t.l1_miss_per_cycle = 0.2;
+  t.lsq_full_per_cycle = 0.4;
+  t.mispredict_per_cycle = 0.02;
+  t.cond_branch_per_cycle = 0.38;
+
+  pipeline::QuantumRates r;
+  r.l1_misses_per_cycle = 0.25;  // above
+  SystemConditions c = evaluate_conditions(r, t);
+  EXPECT_TRUE(c.cond_mem);
+  EXPECT_FALSE(c.cond_br);
+
+  r = pipeline::QuantumRates{};
+  r.lsq_full_per_cycle = 0.5;  // other sub-condition of COND_MEM
+  c = evaluate_conditions(r, t);
+  EXPECT_TRUE(c.cond_mem);
+
+  r = pipeline::QuantumRates{};
+  r.mispredicts_per_cycle = 0.03;
+  c = evaluate_conditions(r, t);
+  EXPECT_TRUE(c.cond_br);
+  EXPECT_FALSE(c.cond_mem);
+
+  r = pipeline::QuantumRates{};
+  r.cond_branches_per_cycle = 0.4;
+  c = evaluate_conditions(r, t);
+  EXPECT_TRUE(c.cond_br);
+
+  c = evaluate_conditions(pipeline::QuantumRates{}, t);
+  EXPECT_FALSE(c.cond_mem);
+  EXPECT_FALSE(c.cond_br);
+}
+
+// --- FSM closure property -------------------------------------------------
+class FsmClosure
+    : public ::testing::TestWithParam<std::tuple<HeuristicType, int>> {};
+
+TEST_P(FsmClosure, TransitionsStayWithinTheThreeStates) {
+  const auto [h, cbits] = GetParam();
+  const SystemConditions conds{(cbits & 1) != 0, (cbits & 2) != 0};
+  for (FetchPolicy inc : {FetchPolicy::kIcount, FetchPolicy::kBrcount,
+                          FetchPolicy::kL1MissCount}) {
+    SwitchHistory hist;
+    const auto d = determine_next_policy(h, inc, conds, 1.0, 2.0, &hist);
+    if (d.has_value()) {
+      EXPECT_TRUE(d->next == FetchPolicy::kIcount ||
+                  d->next == FetchPolicy::kBrcount ||
+                  d->next == FetchPolicy::kL1MissCount);
+      EXPECT_NE(d->next, inc) << "a switch decision must change policy";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHeuristicsAllConditions, FsmClosure,
+    ::testing::Combine(::testing::ValuesIn(all_heuristics()),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace smt::core

@@ -1,0 +1,67 @@
+// Unit tests: switching-history buffer (core/history.hpp).
+#include <gtest/gtest.h>
+
+#include "core/history.hpp"
+
+namespace smt::core {
+namespace {
+
+using policy::FetchPolicy;
+
+TEST(SwitchHistory, StartsEmptyAndRegular) {
+  SwitchHistory h;
+  for (FetchPolicy p : {FetchPolicy::kIcount, FetchPolicy::kBrcount}) {
+    for (bool c : {false, true}) {
+      EXPECT_EQ(h.counts(p, c).poscnt, 0u);
+      EXPECT_EQ(h.counts(p, c).negcnt, 0u);
+      EXPECT_TRUE(h.regular_transition(p, c));
+    }
+  }
+}
+
+TEST(SwitchHistory, RecordsPerKey) {
+  SwitchHistory h;
+  h.record(FetchPolicy::kIcount, true, true);
+  h.record(FetchPolicy::kIcount, false, false);
+  EXPECT_EQ(h.counts(FetchPolicy::kIcount, true).poscnt, 1u);
+  EXPECT_EQ(h.counts(FetchPolicy::kIcount, true).negcnt, 0u);
+  EXPECT_EQ(h.counts(FetchPolicy::kIcount, false).negcnt, 1u);
+  EXPECT_EQ(h.counts(FetchPolicy::kBrcount, true).poscnt, 0u);
+}
+
+TEST(SwitchHistory, RegularRequiresStrictMajority) {
+  SwitchHistory h;
+  h.record(FetchPolicy::kBrcount, true, true);
+  h.record(FetchPolicy::kBrcount, true, false);
+  // poscnt == negcnt → "otherwise, the opposite direction will be chosen".
+  EXPECT_FALSE(h.regular_transition(FetchPolicy::kBrcount, true));
+  h.record(FetchPolicy::kBrcount, true, true);
+  EXPECT_TRUE(h.regular_transition(FetchPolicy::kBrcount, true));
+}
+
+TEST(SwitchHistory, NegativeRunFlipsDecision) {
+  SwitchHistory h;
+  for (int i = 0; i < 5; ++i) h.record(FetchPolicy::kL1MissCount, false, false);
+  EXPECT_FALSE(h.regular_transition(FetchPolicy::kL1MissCount, false));
+  // The other condition value is unaffected.
+  EXPECT_TRUE(h.regular_transition(FetchPolicy::kL1MissCount, true));
+}
+
+TEST(SwitchHistory, ClearResets) {
+  SwitchHistory h;
+  h.record(FetchPolicy::kIcount, true, false);
+  h.clear();
+  EXPECT_TRUE(h.regular_transition(FetchPolicy::kIcount, true));
+  EXPECT_EQ(h.counts(FetchPolicy::kIcount, true).negcnt, 0u);
+}
+
+TEST(SwitchHistory, AllTenPoliciesAddressable) {
+  SwitchHistory h;
+  for (FetchPolicy p : policy::all_policies()) {
+    h.record(p, true, true);
+    EXPECT_EQ(h.counts(p, true).poscnt, 1u) << policy::name(p);
+  }
+}
+
+}  // namespace
+}  // namespace smt::core

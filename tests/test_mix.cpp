@@ -1,0 +1,110 @@
+// Unit tests: evaluation mixes (workload/mix.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/app_profile.hpp"
+#include "workload/mix.hpp"
+
+namespace smt::workload {
+namespace {
+
+TEST(Mix, ThirteenMixes) {
+  EXPECT_EQ(all_mixes().size(), 13u) << "the paper evaluates 13 mixtures";
+}
+
+TEST(Mix, EveryMixHasEightApps) {
+  for (const Mix& m : all_mixes()) {
+    EXPECT_EQ(m.apps.size(), 8u) << m.name;
+  }
+}
+
+TEST(Mix, EveryMemberResolvesToAProfile) {
+  for (const Mix& m : all_mixes()) {
+    for (const auto& app : m.apps) {
+      EXPECT_NO_THROW((void)profile(app)) << m.name << "/" << app;
+    }
+  }
+}
+
+TEST(Mix, NamesAreUniqueAndLookupWorks) {
+  std::set<std::string> names;
+  for (const Mix& m : all_mixes()) {
+    EXPECT_TRUE(names.insert(m.name).second) << "duplicate " << m.name;
+    EXPECT_EQ(mix(m.name).name, m.name);
+  }
+  EXPECT_THROW((void)mix("nope"), std::out_of_range);
+}
+
+TEST(Mix, DescriptionsNonEmpty) {
+  for (const Mix& m : all_mixes()) {
+    EXPECT_FALSE(m.description.empty()) << m.name;
+  }
+}
+
+TEST(Mix, HomogeneousMixesLessDiverseThanBalanced) {
+  // The similarity experiment (paper §6) depends on this ordering.
+  const double ctrl = mix("ctrl8").diversity();
+  const double bal = mix("bal1").diversity();
+  EXPECT_LT(ctrl, bal);
+}
+
+TEST(Mix, DiversityIsNonNegative) {
+  for (const Mix& m : all_mixes()) {
+    EXPECT_GE(m.diversity(), 0.0) << m.name;
+  }
+}
+
+TEST(Mix, SubsetKeepsMembersOfParent) {
+  const Mix& m = mix("int8");
+  for (std::size_t threads : {1u, 4u, 6u, 8u}) {
+    const auto apps = mix_for_threads(m, threads, 7);
+    EXPECT_EQ(apps.size(), threads);
+    for (const auto& a : apps) {
+      EXPECT_NE(std::find(m.apps.begin(), m.apps.end(), a), m.apps.end());
+    }
+  }
+}
+
+TEST(Mix, SubsetIsDeterministicPerSeed) {
+  const Mix& m = mix("bal2");
+  EXPECT_EQ(mix_for_threads(m, 4, 1), mix_for_threads(m, 4, 1));
+}
+
+TEST(Mix, SubsetVariesWithSeed) {
+  const Mix& m = mix("bal2");
+  bool differs = false;
+  for (std::uint64_t s = 2; s < 12 && !differs; ++s) {
+    differs = mix_for_threads(m, 4, 1) != mix_for_threads(m, 4, s);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Mix, SubsetRejectsBadCounts) {
+  const Mix& m = mix("fp8");
+  EXPECT_THROW(mix_for_threads(m, 0, 1), std::invalid_argument);
+  EXPECT_THROW(mix_for_threads(m, 9, 1), std::invalid_argument);
+}
+
+TEST(Mix, FullSubsetIsIdentity) {
+  const Mix& m = mix("var1");
+  EXPECT_EQ(mix_for_threads(m, 8, 3), m.apps);
+}
+
+TEST(Mix, ConstructionAxesCovered) {
+  // At least one mostly-INT, one mostly-FP and one balanced mix exist.
+  auto fp_count = [](const Mix& m) {
+    int n = 0;
+    for (const auto& a : m.apps) {
+      if (profile(a).is_fp_app()) ++n;
+    }
+    return n;
+  };
+  EXPECT_LE(fp_count(mix("int8")), 1);
+  EXPECT_GE(fp_count(mix("fp8")), 7);
+  EXPECT_EQ(fp_count(mix("bal1")), 4);
+}
+
+}  // namespace
+}  // namespace smt::workload

@@ -1,0 +1,114 @@
+// Unit tests: oracle scheduler (sim/oracle.hpp).
+#include <gtest/gtest.h>
+
+#include "sim/oracle.hpp"
+#include "workload/mix.hpp"
+
+namespace smt::sim {
+namespace {
+
+Simulator warm_sim(const char* mix_name = "bal1", std::uint64_t seed = 3) {
+  Simulator s(make_config(workload::mix(mix_name), 8, seed));
+  s.run(8192);
+  return s;
+}
+
+TEST(Oracle, AccountsCyclesAndQuanta) {
+  OracleConfig cfg;
+  cfg.quantum_cycles = 2048;
+  const OracleResult r = run_oracle(warm_sim(), 5, cfg);
+  EXPECT_EQ(r.cycles, 5u * 2048u);
+  std::uint64_t quanta = 0;
+  for (auto q : r.quanta_per_policy) quanta += q;
+  EXPECT_EQ(quanta, 5u);
+}
+
+TEST(Oracle, BeatsOrMatchesEveryFixedCandidateOverOneQuantum) {
+  // One quantum from a common state: the oracle's pick is the max over
+  // the candidate set, so it cannot lose to any member. (The guarantee is
+  // per-quantum; across several quanta greedy choices can diverge.)
+  Simulator base = warm_sim("int8");
+  OracleConfig cfg;
+  cfg.quantum_cycles = 4096;
+  const OracleResult oracle = run_oracle(base, 1, cfg);
+
+  for (policy::FetchPolicy p : cfg.candidates) {
+    Simulator fixed = base;
+    fixed.pipeline().set_policy(p);
+    const std::uint64_t before = fixed.committed();
+    fixed.run(cfg.quantum_cycles);
+    EXPECT_GE(oracle.committed, fixed.committed() - before)
+        << "oracle lost to fixed " << policy::name(p);
+  }
+}
+
+TEST(Oracle, SingleCandidateEqualsFixedRun) {
+  Simulator base = warm_sim("ctrl8");
+  OracleConfig cfg;
+  cfg.quantum_cycles = 2048;
+  cfg.candidates = {policy::FetchPolicy::kIcount};
+  const OracleResult r = run_oracle(base, 4, cfg);
+
+  Simulator fixed = base;
+  const std::uint64_t before = fixed.committed();
+  fixed.run(4 * 2048);
+  EXPECT_EQ(r.committed, fixed.committed() - before);
+  EXPECT_EQ(r.switches, 0u);
+}
+
+TEST(Oracle, DoesNotMutateCallerSimulator) {
+  Simulator base = warm_sim();
+  const std::uint64_t committed_before = base.committed();
+  const std::uint64_t now_before = base.now();
+  (void)run_oracle(base, 3, OracleConfig{});
+  EXPECT_EQ(base.committed(), committed_before);
+  EXPECT_EQ(base.now(), now_before);
+}
+
+TEST(Oracle, RejectsEmptyCandidateSet) {
+  OracleConfig cfg;
+  cfg.candidates.clear();
+  EXPECT_THROW((void)run_oracle(warm_sim(), 1, cfg), std::invalid_argument);
+}
+
+TEST(Oracle, RejectsAdtsBase) {
+  SimConfig cfg = make_config(workload::mix("bal1"), 4, 1);
+  cfg.use_adts = true;
+  Simulator s(cfg);
+  EXPECT_THROW((void)run_oracle(s, 1, OracleConfig{}), std::invalid_argument);
+}
+
+TEST(Oracle, DeterministicAcrossRepeats) {
+  const OracleResult a = run_oracle(warm_sim("var1", 9), 4, OracleConfig{});
+  const OracleResult b = run_oracle(warm_sim("var1", 9), 4, OracleConfig{});
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.quanta_per_policy, b.quanta_per_policy);
+}
+
+TEST(Oracle, FullTenPolicyOracleAtLeastMatchesThreePolicyOracle) {
+  Simulator base = warm_sim("int8", 5);
+  OracleConfig c3;
+  c3.quantum_cycles = 4096;
+  OracleConfig c10 = c3;
+  c10.candidates = policy::all_policies();
+  // One quantum from the same state: max over a superset is >= max over
+  // the subset. (Over multiple quanta greedy choices could diverge, so
+  // the guarantee is per-quantum only.)
+  const OracleResult r3 = run_oracle(base, 1, c3);
+  const OracleResult r10 = run_oracle(base, 1, c10);
+  EXPECT_GE(r10.committed, r3.committed)
+      << "a superset of candidates can only help a per-quantum greedy "
+         "oracle from the same state";
+}
+
+TEST(Oracle, IpcAccessor) {
+  OracleResult r;
+  EXPECT_EQ(r.ipc(), 0.0);
+  r.cycles = 100;
+  r.committed = 250;
+  EXPECT_DOUBLE_EQ(r.ipc(), 2.5);
+}
+
+}  // namespace
+}  // namespace smt::sim

@@ -1,0 +1,174 @@
+// Unit tests: deterministic RNG (common/rng.hpp).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace smt {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "diverged at draw " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, CopyPreservesStreamPosition) {
+  Rng a(7);
+  a.next();
+  a.next();
+  Rng b = a;
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Rng r(5);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng r(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(42);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability) {
+  Rng r(314);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceZeroNeverOneAlways) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect) {
+  Rng r(55);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.geometric(4.0));
+  EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+TEST(Rng, GeometricMinimumIsOne) {
+  Rng r(55);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.geometric(1.0), 1u);
+    EXPECT_EQ(r.geometric(0.5), 1u);  // mean <= 1 degenerates to 1
+  }
+}
+
+TEST(Rng, ZipfStaysBelowN) {
+  Rng r(8);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.zipf(32, 1.0), 32u);
+  }
+  EXPECT_EQ(r.zipf(1, 1.0), 0u);
+  EXPECT_EQ(r.zipf(0, 1.0), 0u);
+}
+
+TEST(Rng, ZipfIsSkewedTowardZero) {
+  Rng r(8);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.zipf(100, 1.0) < 25) ++low;
+  }
+  // First quarter of the range must receive well over a quarter of picks.
+  EXPECT_GT(static_cast<double>(low) / n, 0.35);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  Rng parent(1);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(1);  // same salt, later fork point
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, MakeStreamPathSensitivity) {
+  // Different path components must give different streams, and argument
+  // order must matter.
+  Rng a = make_stream(9, {1, 2});
+  Rng b = make_stream(9, {2, 1});
+  Rng c = make_stream(9, {1, 2});
+  EXPECT_NE(a.next(), b.next());
+  Rng a2 = make_stream(9, {1, 2});
+  EXPECT_EQ(a2.next(), c.next());
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng r(3);
+  EXPECT_NE(r(), r());
+}
+
+}  // namespace
+}  // namespace smt

@@ -1,0 +1,91 @@
+// Unit tests: multi-interval sampling driver (sim/sampling.hpp).
+#include <gtest/gtest.h>
+
+#include "sim/sampling.hpp"
+#include "workload/mix.hpp"
+
+namespace smt::sim {
+namespace {
+
+SamplingPlan tiny_plan(std::uint32_t intervals = 2) {
+  SamplingPlan p;
+  p.intervals = intervals;
+  p.warmup_cycles = 2048;
+  p.measure_cycles = 8192;
+  return p;
+}
+
+TEST(Sampling, AggregatesAcrossIntervals) {
+  const SampleResult r =
+      run_sampled(make_config(workload::mix("bal2"), 8, 1), tiny_plan(3));
+  EXPECT_EQ(r.cycles, 3u * 8192u);
+  EXPECT_EQ(r.interval_ipc.count(), 3u);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST(Sampling, IsDeterministic) {
+  const SimConfig cfg = make_config(workload::mix("var1"), 8, 5);
+  const SampleResult a = run_sampled(cfg, tiny_plan());
+  const SampleResult b = run_sampled(cfg, tiny_plan());
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_DOUBLE_EQ(a.ipc(), b.ipc());
+}
+
+TEST(Sampling, IntervalsAreDecorrelated) {
+  // With more than one interval, per-interval IPCs should not all be
+  // byte-identical (they sample different workload stretches).
+  const SampleResult r =
+      run_sampled(make_config(workload::mix("bal1"), 8, 1), tiny_plan(4));
+  EXPECT_GT(r.interval_ipc.stddev(), 0.0);
+}
+
+TEST(Sampling, WarmupIsExcludedFromMeasurement) {
+  SamplingPlan with_warm = tiny_plan(1);
+  with_warm.warmup_cycles = 8192;
+  SamplingPlan no_warm = tiny_plan(1);
+  no_warm.warmup_cycles = 0;
+  const SimConfig cfg = make_config(workload::mix("mem8"), 8, 2);
+  const SampleResult warm = run_sampled(cfg, with_warm);
+  const SampleResult cold = run_sampled(cfg, no_warm);
+  // Warmed caches: measured IPC must be at least the cold-start IPC.
+  EXPECT_GE(warm.ipc(), cold.ipc() * 0.95);
+  EXPECT_EQ(warm.cycles, cold.cycles);
+}
+
+TEST(Sampling, AdtsCountersAggregated) {
+  SimConfig cfg = make_config(workload::mix("mem8"), 8, 1);
+  cfg.use_adts = true;
+  cfg.adts.quantum_cycles = 1024;
+  cfg.adts.ipc_threshold = 100.0;
+  cfg.adts.heuristic = core::HeuristicType::kType2;
+  cfg.adts.instant_switch = true;
+  const SampleResult r = run_sampled(cfg, tiny_plan(2));
+  EXPECT_GT(r.quanta, 0u);
+  EXPECT_EQ(r.low_throughput_quanta, r.quanta);
+  EXPECT_GT(r.switches, 0u);
+  EXPECT_LE(r.benign_switches + r.malignant_switches, r.switches);
+}
+
+TEST(Sampling, BenignFractionWithinUnitInterval) {
+  SimConfig cfg = make_config(workload::mix("int8"), 8, 1);
+  cfg.use_adts = true;
+  cfg.adts.quantum_cycles = 1024;
+  cfg.adts.ipc_threshold = 3.0;
+  cfg.adts.instant_switch = true;
+  const SampleResult r = run_sampled(cfg, tiny_plan(2));
+  EXPECT_GE(r.benign_fraction(), 0.0);
+  EXPECT_LE(r.benign_fraction(), 1.0);
+}
+
+TEST(Sampling, SwitchesPerMcycleScalesCorrectly) {
+  SampleResult r;
+  r.cycles = 1'000'000;
+  r.switches = 7;
+  EXPECT_DOUBLE_EQ(r.switches_per_mcycle(), 7.0);
+  SampleResult zero;
+  EXPECT_DOUBLE_EQ(zero.switches_per_mcycle(), 0.0);
+}
+
+}  // namespace
+}  // namespace smt::sim

@@ -1,0 +1,75 @@
+// Unit tests: table printer (common/table.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace smt {
+namespace {
+
+TEST(Table, PrintsHeadersAndRows) {
+  Table t({"mix", "ipc"});
+  t.add_row({"ctrl8", "1.87"});
+  t.add_row({"mem8", "0.78"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("mix"), std::string::npos);
+  EXPECT_NE(out.find("ctrl8"), std::string::npos);
+  EXPECT_NE(out.find("0.78"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t({"a", "b"});
+  t.add_row({"xxxxxxxx", "1"});
+  t.add_row({"y", "2"});
+  std::ostringstream os;
+  t.print(os);
+  // Find column position of "1" and "2": they must match.
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);             // header
+  std::getline(is, line);             // underline
+  std::string r1, r2;
+  std::getline(is, r1);
+  std::getline(is, r2);
+  EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+TEST(Table, ShortRowsPadBlank) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(Table, RejectsOverlongRows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, BannerContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Figure 7a");
+  EXPECT_NE(os.str().find("Figure 7a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smt
