@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quantum.dir/bench_ablation_quantum.cpp.o"
+  "CMakeFiles/bench_ablation_quantum.dir/bench_ablation_quantum.cpp.o.d"
+  "bench_ablation_quantum"
+  "bench_ablation_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

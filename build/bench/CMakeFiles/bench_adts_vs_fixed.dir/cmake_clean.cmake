@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adts_vs_fixed.dir/bench_adts_vs_fixed.cpp.o"
+  "CMakeFiles/bench_adts_vs_fixed.dir/bench_adts_vs_fixed.cpp.o.d"
+  "bench_adts_vs_fixed"
+  "bench_adts_vs_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adts_vs_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

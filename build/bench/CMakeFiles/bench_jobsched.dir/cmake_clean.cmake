@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jobsched.dir/bench_jobsched.cpp.o"
+  "CMakeFiles/bench_jobsched.dir/bench_jobsched.cpp.o.d"
+  "bench_jobsched"
+  "bench_jobsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jobsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

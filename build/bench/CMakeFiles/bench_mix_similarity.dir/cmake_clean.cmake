@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mix_similarity.dir/bench_mix_similarity.cpp.o"
+  "CMakeFiles/bench_mix_similarity.dir/bench_mix_similarity.cpp.o.d"
+  "bench_mix_similarity"
+  "bench_mix_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mix_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oracle_headroom.dir/bench_oracle_headroom.cpp.o"
+  "CMakeFiles/bench_oracle_headroom.dir/bench_oracle_headroom.cpp.o.d"
+  "bench_oracle_headroom"
+  "bench_oracle_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adts_demo.dir/adts_demo.cpp.o"
+  "CMakeFiles/adts_demo.dir/adts_demo.cpp.o.d"
+  "adts_demo"
+  "adts_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adts_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

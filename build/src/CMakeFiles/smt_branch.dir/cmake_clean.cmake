@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_branch.dir/branch/predictor.cpp.o"
+  "CMakeFiles/smt_branch.dir/branch/predictor.cpp.o.d"
+  "libsmt_branch.a"
+  "libsmt_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

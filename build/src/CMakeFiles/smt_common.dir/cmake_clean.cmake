@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_common.dir/common/cli.cpp.o"
+  "CMakeFiles/smt_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/smt_common.dir/common/rng.cpp.o"
+  "CMakeFiles/smt_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/smt_common.dir/common/stats.cpp.o"
+  "CMakeFiles/smt_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/smt_common.dir/common/table.cpp.o"
+  "CMakeFiles/smt_common.dir/common/table.cpp.o.d"
+  "libsmt_common.a"
+  "libsmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_core.dir/core/detector.cpp.o"
+  "CMakeFiles/smt_core.dir/core/detector.cpp.o.d"
+  "CMakeFiles/smt_core.dir/core/heuristics.cpp.o"
+  "CMakeFiles/smt_core.dir/core/heuristics.cpp.o.d"
+  "CMakeFiles/smt_core.dir/core/history.cpp.o"
+  "CMakeFiles/smt_core.dir/core/history.cpp.o.d"
+  "libsmt_core.a"
+  "libsmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

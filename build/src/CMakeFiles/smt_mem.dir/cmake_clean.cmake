@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_mem.dir/mem/cache.cpp.o"
+  "CMakeFiles/smt_mem.dir/mem/cache.cpp.o.d"
+  "CMakeFiles/smt_mem.dir/mem/hierarchy.cpp.o"
+  "CMakeFiles/smt_mem.dir/mem/hierarchy.cpp.o.d"
+  "libsmt_mem.a"
+  "libsmt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

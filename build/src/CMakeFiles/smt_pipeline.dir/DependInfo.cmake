@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/counters.cpp" "src/CMakeFiles/smt_pipeline.dir/pipeline/counters.cpp.o" "gcc" "src/CMakeFiles/smt_pipeline.dir/pipeline/counters.cpp.o.d"
+  "/root/repo/src/pipeline/pipeline.cpp" "src/CMakeFiles/smt_pipeline.dir/pipeline/pipeline.cpp.o" "gcc" "src/CMakeFiles/smt_pipeline.dir/pipeline/pipeline.cpp.o.d"
+  "/root/repo/src/policy/fetch_policy.cpp" "src/CMakeFiles/smt_pipeline.dir/policy/fetch_policy.cpp.o" "gcc" "src/CMakeFiles/smt_pipeline.dir/policy/fetch_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_pipeline.dir/pipeline/counters.cpp.o"
+  "CMakeFiles/smt_pipeline.dir/pipeline/counters.cpp.o.d"
+  "CMakeFiles/smt_pipeline.dir/pipeline/pipeline.cpp.o"
+  "CMakeFiles/smt_pipeline.dir/pipeline/pipeline.cpp.o.d"
+  "CMakeFiles/smt_pipeline.dir/policy/fetch_policy.cpp.o"
+  "CMakeFiles/smt_pipeline.dir/policy/fetch_policy.cpp.o.d"
+  "libsmt_pipeline.a"
+  "libsmt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

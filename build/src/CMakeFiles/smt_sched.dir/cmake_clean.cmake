@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_sched.dir/sched/job_scheduler.cpp.o"
+  "CMakeFiles/smt_sched.dir/sched/job_scheduler.cpp.o.d"
+  "libsmt_sched.a"
+  "libsmt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

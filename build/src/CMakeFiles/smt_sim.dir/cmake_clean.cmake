@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/smt_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/smt_sim.dir/sim/oracle.cpp.o"
+  "CMakeFiles/smt_sim.dir/sim/oracle.cpp.o.d"
+  "CMakeFiles/smt_sim.dir/sim/sampling.cpp.o"
+  "CMakeFiles/smt_sim.dir/sim/sampling.cpp.o.d"
+  "CMakeFiles/smt_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/smt_sim.dir/sim/simulator.cpp.o.d"
+  "libsmt_sim.a"
+  "libsmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

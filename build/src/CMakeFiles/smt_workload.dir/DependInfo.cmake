@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/address_gen.cpp" "src/CMakeFiles/smt_workload.dir/workload/address_gen.cpp.o" "gcc" "src/CMakeFiles/smt_workload.dir/workload/address_gen.cpp.o.d"
+  "/root/repo/src/workload/app_profile.cpp" "src/CMakeFiles/smt_workload.dir/workload/app_profile.cpp.o" "gcc" "src/CMakeFiles/smt_workload.dir/workload/app_profile.cpp.o.d"
+  "/root/repo/src/workload/branch_site.cpp" "src/CMakeFiles/smt_workload.dir/workload/branch_site.cpp.o" "gcc" "src/CMakeFiles/smt_workload.dir/workload/branch_site.cpp.o.d"
+  "/root/repo/src/workload/mix.cpp" "src/CMakeFiles/smt_workload.dir/workload/mix.cpp.o" "gcc" "src/CMakeFiles/smt_workload.dir/workload/mix.cpp.o.d"
+  "/root/repo/src/workload/thread_program.cpp" "src/CMakeFiles/smt_workload.dir/workload/thread_program.cpp.o" "gcc" "src/CMakeFiles/smt_workload.dir/workload/thread_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_workload.dir/workload/address_gen.cpp.o"
+  "CMakeFiles/smt_workload.dir/workload/address_gen.cpp.o.d"
+  "CMakeFiles/smt_workload.dir/workload/app_profile.cpp.o"
+  "CMakeFiles/smt_workload.dir/workload/app_profile.cpp.o.d"
+  "CMakeFiles/smt_workload.dir/workload/branch_site.cpp.o"
+  "CMakeFiles/smt_workload.dir/workload/branch_site.cpp.o.d"
+  "CMakeFiles/smt_workload.dir/workload/mix.cpp.o"
+  "CMakeFiles/smt_workload.dir/workload/mix.cpp.o.d"
+  "CMakeFiles/smt_workload.dir/workload/thread_program.cpp.o"
+  "CMakeFiles/smt_workload.dir/workload/thread_program.cpp.o.d"
+  "libsmt_workload.a"
+  "libsmt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmt_workload.a"
+)

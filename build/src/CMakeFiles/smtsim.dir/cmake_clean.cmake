@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim.dir/tools/smtsim.cpp.o"
+  "CMakeFiles/smtsim.dir/tools/smtsim.cpp.o.d"
+  "smtsim"
+  "smtsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

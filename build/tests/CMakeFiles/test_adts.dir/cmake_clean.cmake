@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adts.dir/test_adts_end2end.cpp.o"
+  "CMakeFiles/test_adts.dir/test_adts_end2end.cpp.o.d"
+  "test_adts"
+  "test_adts.pdb"
+  "test_adts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

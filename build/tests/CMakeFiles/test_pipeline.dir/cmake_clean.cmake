@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/test_pipeline.cpp.o"
+  "CMakeFiles/test_pipeline.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/test_pipeline_mechanisms.cpp.o"
+  "CMakeFiles/test_pipeline.dir/test_pipeline_mechanisms.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/test_pipeline_properties.cpp.o"
+  "CMakeFiles/test_pipeline.dir/test_pipeline_properties.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/test_pipeline_squash.cpp.o"
+  "CMakeFiles/test_pipeline.dir/test_pipeline_squash.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+  "test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

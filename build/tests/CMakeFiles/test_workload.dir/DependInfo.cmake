@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_gen.cpp" "tests/CMakeFiles/test_workload.dir/test_address_gen.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_address_gen.cpp.o.d"
+  "/root/repo/tests/test_app_profile.cpp" "tests/CMakeFiles/test_workload.dir/test_app_profile.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_app_profile.cpp.o.d"
+  "/root/repo/tests/test_branch_site.cpp" "tests/CMakeFiles/test_workload.dir/test_branch_site.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_branch_site.cpp.o.d"
+  "/root/repo/tests/test_mix.cpp" "tests/CMakeFiles/test_workload.dir/test_mix.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_mix.cpp.o.d"
+  "/root/repo/tests/test_profiles_sweep.cpp" "tests/CMakeFiles/test_workload.dir/test_profiles_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_profiles_sweep.cpp.o.d"
+  "/root/repo/tests/test_thread_program.cpp" "tests/CMakeFiles/test_workload.dir/test_thread_program.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_thread_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smt_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/test_address_gen.cpp.o"
+  "CMakeFiles/test_workload.dir/test_address_gen.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_app_profile.cpp.o"
+  "CMakeFiles/test_workload.dir/test_app_profile.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_branch_site.cpp.o"
+  "CMakeFiles/test_workload.dir/test_branch_site.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_mix.cpp.o"
+  "CMakeFiles/test_workload.dir/test_mix.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_profiles_sweep.cpp.o"
+  "CMakeFiles/test_workload.dir/test_profiles_sweep.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_thread_program.cpp.o"
+  "CMakeFiles/test_workload.dir/test_thread_program.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
