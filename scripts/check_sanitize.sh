@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under ASan and UBSan.
+#
+# Usage: scripts/check_sanitize.sh [address|undefined]...
+# With no arguments both sanitizers run, each in its own build tree
+# (build-asan/, build-ubsan/), leaving the regular build/ untouched.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(address undefined)
+fi
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    address)   dir="$repo/build-asan" ;;
+    undefined) dir="$repo/build-ubsan" ;;
+    *) echo "unknown sanitizer: $san (use address | undefined)" >&2; exit 2 ;;
+  esac
+  echo "== $san: configuring $dir"
+  cmake -B "$dir" -S "$repo" -DSMT_SANITIZE="$san" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "== $san: building"
+  cmake --build "$dir" -j "$(nproc)"
+  echo "== $san: running ctest"
+  (cd "$dir" && ctest --output-on-failure -j "$(nproc)")
+  echo "== $san: OK"
+done

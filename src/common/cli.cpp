@@ -41,7 +41,7 @@ CliArgs::CliArgs(int argc, const char* const* argv,
       }
     }
     if (!known(key)) {
-      throw std::invalid_argument("unknown option --" + key);
+      throw UsageError("unknown option --" + key);
     }
     values_[key] = value;
   }
@@ -66,11 +66,14 @@ std::string CliArgs::get_or(const std::string& key,
 std::uint64_t CliArgs::get_u64(const std::string& key,
                                std::uint64_t fallback) const {
   const auto v = get(key);
-  if (!v.has_value() || v->empty()) return fallback;
+  if (!v.has_value()) return fallback;
+  if (v->empty()) {
+    throw UsageError("--" + key + " expects an integer, got an empty value");
+  }
   char* end = nullptr;
   const std::uint64_t out = std::strtoull(v->c_str(), &end, 10);
   if (end == nullptr || *end != '\0') {
-    throw std::invalid_argument("--" + key + " expects an integer, got '" +
+    throw UsageError("--" + key + " expects an integer, got '" +
                                 *v + "'");
   }
   return out;
@@ -78,11 +81,14 @@ std::uint64_t CliArgs::get_u64(const std::string& key,
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
   const auto v = get(key);
-  if (!v.has_value() || v->empty()) return fallback;
+  if (!v.has_value()) return fallback;
+  if (v->empty()) {
+    throw UsageError("--" + key + " expects a number, got an empty value");
+  }
   char* end = nullptr;
   const double out = std::strtod(v->c_str(), &end);
   if (end == nullptr || *end != '\0') {
-    throw std::invalid_argument("--" + key + " expects a number, got '" +
+    throw UsageError("--" + key + " expects a number, got '" +
                                 *v + "'");
   }
   return out;
@@ -95,7 +101,7 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
     return true;
   }
   if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
-  throw std::invalid_argument("--" + key + " expects a boolean, got '" + *v +
+  throw UsageError("--" + key + " expects a boolean, got '" + *v +
                               "'");
 }
 

@@ -9,10 +9,26 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace smt {
+
+/// Malformed command line: unknown option, or a value that does not parse
+/// as the requested type. Tools map this to exit code 2 (usage error),
+/// distinct from semantically invalid configurations (exit code 3) —
+/// scripts can tell a typo from an out-of-range parameter.
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// A structurally valid option with a semantically invalid value
+/// (out-of-range thread count, non-positive threshold, unknown mix name).
+/// Tools map this to exit code 3.
+struct ConfigError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 class CliArgs {
  public:

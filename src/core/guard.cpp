@@ -1,0 +1,119 @@
+#include "core/guard.hpp"
+
+#include "core/heuristics.hpp"
+
+namespace smt::core {
+
+const char* name(GuardState s) noexcept {
+  switch (s) {
+    case GuardState::kArmed: return "ARMED";
+    case GuardState::kReverting: return "REVERTING";
+    case GuardState::kSafeMode: return "SAFE_MODE";
+    case GuardState::kCooldown: return "COOLDOWN";
+  }
+  return "?";
+}
+
+void DegradationGuard::raise_suspicion() {
+  const std::uint64_t until = quantum_ + cfg_.suspicion_quanta;
+  if (until > suspicious_until_) suspicious_until_ = until;
+}
+
+GuardVerdict DegradationGuard::on_quantum(const GuardObservation& obs) {
+  GuardVerdict v;
+  if (!cfg_.enabled) return v;
+  ++quantum_;
+  ++stats_.quanta;
+
+  // --- integrity evidence: the only way suspicion is ever raised --------
+  if (obs.committed_counters != obs.committed_truth ||
+      obs.counters_implausible) {
+    ++stats_.anomalies;
+    raise_suspicion();
+  }
+  if (obs.switch_stale) {
+    ++stats_.stale_switches;
+    raise_suspicion();
+  }
+  if (obs.switch_write_lost) {
+    ++stats_.lost_switch_writes;
+    raise_suspicion();
+  }
+  if (obs.dt_starved) {
+    ++stats_.dt_starvations;
+    raise_suspicion();
+  }
+  if (suspicious()) ++stats_.suspicious_quanta;
+
+  // --- watchdog: score-driven revert ------------------------------------
+  // Starvation is a failure strike too: a DT that keeps missing its
+  // scheduling slot cannot supervise the heuristic, and repeated misses
+  // should land the machine on the safe static policy rather than leave
+  // it parked on whatever the last (possibly stale) switch chose.
+  bool failure = obs.switch_write_lost || obs.dt_starved;
+  if (obs.switch_scored) {
+    if (obs.switch_benign) {
+      consecutive_failures_ = 0;
+      if (state_ == GuardState::kReverting) state_ = GuardState::kArmed;
+    } else if (suspicious() && state_ != GuardState::kSafeMode) {
+      const double damage =
+          switch_damage(obs.ipc_before_switch, obs.ipc_last);
+      if (damage > cfg_.revert_margin || obs.switch_stale) {
+        v.revert = true;
+        v.revert_to = obs.switch_incumbent;
+        ++stats_.reverts;
+        if (state_ != GuardState::kCooldown) state_ = GuardState::kReverting;
+        failure = true;
+      }
+    }
+  }
+  if (failure) ++consecutive_failures_;
+
+  // --- fallback: trip into SAFE_MODE ------------------------------------
+  const bool trip =
+      state_ == GuardState::kCooldown
+          ? failure  // one strike while cooling down
+          : (state_ != GuardState::kSafeMode &&
+             consecutive_failures_ >= cfg_.safe_mode_failures);
+  if (trip) {
+    state_ = GuardState::kSafeMode;
+    state_until_ = quantum_ + cfg_.safe_mode_quanta;
+    ++stats_.safe_mode_entries;
+    consecutive_failures_ = 0;
+    v.revert = false;  // the pin supersedes the revert
+  }
+
+  // --- state upkeep ------------------------------------------------------
+  if (state_ == GuardState::kSafeMode) {
+    ++stats_.safe_mode_quanta;
+    v.pin_safe_policy = true;
+    if (quantum_ >= state_until_ && !trip) {
+      state_ = GuardState::kCooldown;
+      state_until_ = quantum_ + cfg_.cooldown_quanta;
+    }
+  } else if (state_ == GuardState::kCooldown) {
+    if (quantum_ >= state_until_) {
+      state_ = GuardState::kArmed;
+      consecutive_failures_ = 0;
+    }
+  }
+
+  // --- hysteresis ---------------------------------------------------------
+  v.allow_switching = true;
+  if (state_ == GuardState::kSafeMode || v.revert) {
+    v.allow_switching = false;
+  } else if ((suspicious() || state_ == GuardState::kCooldown) &&
+             any_switch_seen_ &&
+             quantum_ < last_switch_quantum_ + cfg_.dwell_quanta) {
+    v.allow_switching = false;
+  }
+  return v;
+}
+
+void DegradationGuard::note_switch_applied() {
+  if (!cfg_.enabled) return;
+  any_switch_seen_ = true;
+  last_switch_quantum_ = quantum_;
+}
+
+}  // namespace smt::core

@@ -1,0 +1,195 @@
+// ADTS graceful-degradation guard.
+//
+// ADTS trusts two things the paper takes for granted: that the status
+// counters tell the truth, and that a Policy_Switch lands roughly when it
+// was decided. The fault layer (src/fault/) breaks both; this guard makes
+// ADTS survive it with three mechanisms:
+//
+//   * watchdog — every applied switch is scored one quantum later (the
+//     detector already does this); if the switch was malignant beyond a
+//     revert margin, the guard undoes it — the machine is back on the
+//     incumbent policy within one quantum of the damage being visible.
+//   * hysteresis — a minimum dwell between applied switches, bounding the
+//     switch-frequency pathology of Fig. 7 when decisions are being made
+//     from garbage counters.
+//   * safe-mode fallback — after N consecutive failed switches the guard
+//     stops trusting the heuristic entirely and pins the fixed safe
+//     policy (ICOUNT, the paper's best static baseline), re-arming after
+//     a cool-down.
+//
+// State machine: ARMED → REVERTING (a switch was undone) → SAFE_MODE
+// (N consecutive failures; policy pinned) → COOLDOWN (pin released,
+// hysteresis forced, any failure returns to SAFE_MODE) → ARMED.
+//
+// The crucial design rule: every intervention is gated on *suspicion*,
+// and suspicion is only raised by observations that are impossible in a
+// healthy run —
+//   1. the per-thread committed counters disagree with the global
+//      retirement counter (exact redundancy cross-check; the fault model
+//      perturbs per-thread status counters, the global counter is
+//      separate, protected hardware),
+//   2. a counter sample violates a hard physical ceiling
+//      (pipeline::counters_plausible),
+//   3. a policy switch applied one or more quanta after it was decided
+//      (fault-free, stale decisions are dropped at the boundary, §3),
+//   4. a Policy_Switch register write that did not stick (read-back
+//      mismatch),
+//   5. the DT slept through a quantum boundary (cycle-counter read-back
+//      shows more than one quantum since its last run).
+// Ordinary malignant switches — which the paper shows are common even in
+// a healthy system (Fig. 7c/d) — never trigger the guard on their own.
+// Consequently a guarded, fault-free run is bit-identical to an
+// unguarded one: the guard observes but never acts. tests/test_guard.cpp
+// enforces this across all 13 mixes.
+#pragma once
+
+#include <cstdint>
+
+#include "policy/fetch_policy.hpp"
+
+namespace smt::core {
+
+enum class GuardState : std::uint8_t {
+  kArmed,
+  kReverting,
+  kSafeMode,
+  kCooldown,
+};
+
+[[nodiscard]] const char* name(GuardState s) noexcept;
+
+struct GuardConfig {
+  bool enabled = false;
+
+  /// Watchdog: revert a scored-malignant switch when the post-switch
+  /// quantum ran more than this fraction slower than the pre-switch one
+  /// (core::switch_damage > margin). Only while suspicious.
+  double revert_margin = 0.10;
+
+  /// Hysteresis: minimum quanta between applied switches while suspicion
+  /// is active (and throughout COOLDOWN).
+  std::uint32_t dwell_quanta = 3;
+
+  /// Safe-mode trip wire: consecutive failures (reverts, lost writes,
+  /// stale applications, DT starvation) before the policy is pinned.
+  std::uint32_t safe_mode_failures = 3;
+  /// Quanta the policy stays pinned in SAFE_MODE.
+  std::uint32_t safe_mode_quanta = 16;
+  /// Clean quanta in COOLDOWN before re-arming.
+  std::uint32_t cooldown_quanta = 8;
+
+  /// Quanta an anomaly keeps suspicion raised.
+  std::uint32_t suspicion_quanta = 8;
+
+  policy::FetchPolicy safe_policy = policy::FetchPolicy::kIcount;
+};
+
+struct GuardStats {
+  std::uint64_t quanta = 0;
+  std::uint64_t anomalies = 0;  ///< counter-integrity violations observed
+  std::uint64_t suspicious_quanta = 0;
+  std::uint64_t reverts = 0;           ///< malignant switches undone
+  std::uint64_t vetoed_switches = 0;   ///< hysteresis / safe-mode vetoes
+  std::uint64_t stale_switches = 0;    ///< switches applied late (fault)
+  std::uint64_t lost_switch_writes = 0;
+  std::uint64_t dt_starvations = 0;    ///< boundaries the DT slept through
+  /// In-flight decisions cancelled on resume from starvation (they were
+  /// computed for a phase several quanta gone).
+  std::uint64_t stale_decisions_dropped = 0;
+  /// Clogging-thread fetch blocks withheld because the counter samples
+  /// naming the thread were under suspicion.
+  std::uint64_t clog_blocks_suppressed = 0;
+  std::uint64_t safe_mode_entries = 0;
+  std::uint64_t safe_mode_quanta = 0;  ///< quanta spent pinned
+};
+
+/// Everything the guard gets to see at one quantum boundary, assembled by
+/// the detector thread from the same (possibly faulty) counter samples it
+/// uses itself — plus the trustworthy global retirement count.
+struct GuardObservation {
+  double ipc_last = 0.0;
+
+  /// Ground truth: instructions retired this quantum per the global
+  /// retirement counter.
+  std::uint64_t committed_truth = 0;
+  /// Sum of the per-thread committed_quantum counters as sampled.
+  std::uint64_t committed_counters = 0;
+  /// Any per-thread sample failed pipeline::counters_plausible.
+  bool counters_implausible = false;
+
+  // --- scored switch (at most one per boundary) ------------------------
+  bool switch_scored = false;
+  bool switch_benign = false;
+  /// The switch was applied ≥ 1 quantum after it was decided.
+  bool switch_stale = false;
+  double ipc_before_switch = 0.0;
+  policy::FetchPolicy switch_incumbent = policy::FetchPolicy::kIcount;
+
+  /// A Policy_Switch write this quantum did not stick (read-back
+  /// mismatch) — only the fault layer produces this.
+  bool switch_write_lost = false;
+
+  /// The DT slept through one or more quantum boundaries since it last
+  /// ran (it reads the cycle counter, so it can tell). A healthy DT is
+  /// scheduled every quantum, so starvation is itself hard evidence.
+  bool dt_starved = false;
+};
+
+/// What the detector must do this quantum on the guard's behalf.
+struct GuardVerdict {
+  /// Undo the scored switch: set the policy back to `revert_to` now.
+  bool revert = false;
+  policy::FetchPolicy revert_to = policy::FetchPolicy::kIcount;
+  /// Pin the safe policy now (SAFE_MODE entry or dwell).
+  bool pin_safe_policy = false;
+  /// May ADTS apply a new switch this quantum?
+  bool allow_switching = true;
+};
+
+class DegradationGuard {
+ public:
+  DegradationGuard() = default;
+  explicit DegradationGuard(const GuardConfig& cfg) : cfg_(cfg) {}
+
+  /// Quantum-boundary processing; call once per boundary, after switch
+  /// scoring. The verdict is only meaningful when cfg().enabled.
+  [[nodiscard]] GuardVerdict on_quantum(const GuardObservation& obs);
+
+  /// The detector applied a switch (dwell bookkeeping).
+  void note_switch_applied();
+
+  /// The heuristic wanted to switch but the verdict vetoed it.
+  void note_vetoed() { ++stats_.vetoed_switches; }
+
+  /// A clogging-thread fetch block was withheld under suspicion.
+  void note_clog_suppressed() { ++stats_.clog_blocks_suppressed; }
+
+  /// An in-flight decision was cancelled on resume from starvation.
+  void note_stale_decision_dropped() { ++stats_.stale_decisions_dropped; }
+
+  [[nodiscard]] const GuardConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] GuardState state() const noexcept { return state_; }
+  [[nodiscard]] const GuardStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool suspicious() const noexcept {
+    return quantum_ < suspicious_until_;
+  }
+  [[nodiscard]] std::uint32_t consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+
+ private:
+  void raise_suspicion();
+
+  GuardConfig cfg_{};
+  GuardState state_ = GuardState::kArmed;
+  GuardStats stats_{};
+
+  std::uint64_t quantum_ = 0;            ///< boundaries seen
+  std::uint64_t suspicious_until_ = 0;   ///< quantum index suspicion expires
+  std::uint64_t last_switch_quantum_ = 0;
+  bool any_switch_seen_ = false;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint64_t state_until_ = 0;  ///< SAFE_MODE / COOLDOWN expiry
+};
+
+}  // namespace smt::core

@@ -1,0 +1,153 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smt::fault {
+
+namespace {
+
+/// RNG stream tags (common/rng.hpp make_stream paths). Fault streams live
+/// in their own namespace so they can never collide with workload streams.
+constexpr std::uint64_t kFaultTag = 0xFAu;
+
+constexpr std::uint64_t kSubCounters = 1;
+constexpr std::uint64_t kSubDtStall = 2;
+constexpr std::uint64_t kSubSwitch = 3;
+constexpr std::uint64_t kSubBlackout = 4;
+
+/// Scale a non-negative counter by `s`, clamping at zero.
+std::uint64_t scale_u64(std::uint64_t v, double s) noexcept {
+  const double x = static_cast<double>(v) * s;
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+std::int32_t scale_i32(std::int32_t v, double s) noexcept {
+  const double x = static_cast<double>(v) * s;
+  return x <= 0.0 ? 0 : static_cast<std::int32_t>(x);
+}
+
+}  // namespace
+
+std::uint8_t QuantumFaults::mask() const noexcept {
+  std::uint8_t m = kFaultNone;
+  for (const CounterFault& f : counters) {
+    switch (f.kind) {
+      case CounterFaultKind::kNoise: m |= kFaultCounterNoise; break;
+      case CounterFaultKind::kFreeze: m |= kFaultCounterFreeze; break;
+      case CounterFaultKind::kCorrupt: m |= kFaultCounterCorrupt; break;
+      case CounterFaultKind::kNone: break;
+    }
+  }
+  if (dt_stall_start) m |= kFaultDtStall;
+  if (drop_switch) m |= kFaultSwitchDrop;
+  if (delay_switch) m |= kFaultSwitchDelay;
+  if (blackout) m |= kFaultBlackout;
+  return m;
+}
+
+QuantumFaults FaultPlan::for_quantum(std::uint64_t q,
+                                     std::uint32_t num_threads) const {
+  QuantumFaults out;
+  out.counters.assign(num_threads, CounterFault{});
+  if (!enabled()) return out;
+
+  {
+    Rng rng = make_stream(cfg_.seed, {kFaultTag, kSubCounters, q});
+    for (std::uint32_t tid = 0; tid < num_threads; ++tid) {
+      CounterFault& f = out.counters[tid];
+      if (rng.chance(cfg_.counter_noise_prob)) {
+        f.kind = CounterFaultKind::kNoise;
+        const double m = cfg_.counter_noise_magnitude;
+        f.scale = 1.0 - m + 2.0 * m * rng.uniform();
+      } else if (rng.chance(cfg_.counter_freeze_prob)) {
+        f.kind = CounterFaultKind::kFreeze;
+      } else if (rng.chance(cfg_.counter_corrupt_prob)) {
+        f.kind = CounterFaultKind::kCorrupt;
+        f.garbage_seed = rng.next();
+      }
+    }
+  }
+  {
+    Rng rng = make_stream(cfg_.seed, {kFaultTag, kSubDtStall, q});
+    if (rng.chance(cfg_.dt_stall_prob)) {
+      out.dt_stall_start = true;
+      out.dt_stall_quanta = cfg_.dt_stall_quanta;
+    }
+  }
+  {
+    Rng rng = make_stream(cfg_.seed, {kFaultTag, kSubSwitch, q});
+    if (rng.chance(cfg_.switch_drop_prob)) {
+      out.drop_switch = true;
+    } else if (rng.chance(cfg_.switch_delay_prob)) {
+      out.delay_switch = true;
+      out.delay_quanta = cfg_.switch_delay_quanta;
+    }
+  }
+  {
+    Rng rng = make_stream(cfg_.seed, {kFaultTag, kSubBlackout, q});
+    if (rng.chance(cfg_.blackout_prob) && num_threads > 0) {
+      out.blackout = true;
+      out.blackout_tid =
+          static_cast<std::uint32_t>(rng.below(num_threads));
+      out.blackout_cycles = cfg_.blackout_cycles;
+    }
+  }
+  return out;
+}
+
+pipeline::ThreadCounters apply_counter_fault(
+    const CounterFault& f, const pipeline::ThreadCounters& truth,
+    const pipeline::ThreadCounters& stale, std::uint64_t quantum_cycles) {
+  switch (f.kind) {
+    case CounterFaultKind::kNone:
+      return truth;
+    case CounterFaultKind::kFreeze:
+      return stale;
+    case CounterFaultKind::kNoise: {
+      pipeline::ThreadCounters c = truth;
+      c.icount = scale_i32(truth.icount, f.scale);
+      c.brcount = scale_i32(truth.brcount, f.scale);
+      c.ldcount = scale_i32(truth.ldcount, f.scale);
+      c.memcount = scale_i32(truth.memcount, f.scale);
+      c.l1d_outstanding = scale_i32(truth.l1d_outstanding, f.scale);
+      c.l1i_outstanding = scale_i32(truth.l1i_outstanding, f.scale);
+      c.committed_quantum = scale_u64(truth.committed_quantum, f.scale);
+      c.cond_branches_quantum =
+          scale_u64(truth.cond_branches_quantum, f.scale);
+      c.mispredicts_quantum = scale_u64(truth.mispredicts_quantum, f.scale);
+      c.l1d_misses_quantum = scale_u64(truth.l1d_misses_quantum, f.scale);
+      c.l1i_misses_quantum = scale_u64(truth.l1i_misses_quantum, f.scale);
+      c.lsq_full_events_quantum =
+          scale_u64(truth.lsq_full_events_quantum, f.scale);
+      c.stalls_quantum = scale_u64(truth.stalls_quantum, f.scale);
+      return c;
+    }
+    case CounterFaultKind::kCorrupt: {
+      // Garbage spanning [0, 2× a generous physical ceiling]: some
+      // corruptions are physically impossible (a sanity check can catch
+      // them), others are plausible lies (only outcome scoring can).
+      Rng rng(f.garbage_seed);
+      pipeline::ThreadCounters c = truth;
+      const std::uint64_t occ_ceiling = 512;
+      c.icount = static_cast<std::int32_t>(rng.below(occ_ceiling));
+      c.brcount = static_cast<std::int32_t>(rng.below(occ_ceiling));
+      c.ldcount = static_cast<std::int32_t>(rng.below(occ_ceiling));
+      c.memcount = static_cast<std::int32_t>(rng.below(occ_ceiling));
+      c.l1d_outstanding = static_cast<std::int32_t>(rng.below(64));
+      c.l1i_outstanding = static_cast<std::int32_t>(rng.below(4));
+      const std::uint64_t ev_ceiling = 2 * quantum_cycles;
+      c.committed_quantum = rng.below(16 * quantum_cycles);
+      c.cond_branches_quantum = rng.below(ev_ceiling);
+      c.mispredicts_quantum = rng.below(ev_ceiling);
+      c.l1d_misses_quantum = rng.below(ev_ceiling);
+      c.l1i_misses_quantum = rng.below(ev_ceiling);
+      c.lsq_full_events_quantum = rng.below(ev_ceiling);
+      c.stalls_quantum = rng.below(ev_ceiling);
+      return c;
+    }
+  }
+  return truth;
+}
+
+}  // namespace smt::fault

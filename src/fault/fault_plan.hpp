@@ -1,0 +1,142 @@
+// Deterministic fault schedule for robustness testing (stress layer).
+//
+// The paper's robustness claims — the detector thread degrades gracefully
+// when starved (§3), history heuristics suffer from malignant switches
+// (§5) — are only testable if something can actually go wrong. FaultPlan
+// is that something: a seeded, deterministic schedule of perturbations
+// over scheduling quanta, covering four fault classes:
+//
+//   * counter faults — a thread's status counters return noisy, frozen
+//     (one quantum stale) or corrupted values to software readers (the
+//     detector thread). The architectural simulation is untouched: only
+//     the *observed* values lie, modelling flaky performance-counter
+//     hardware or racy counter sampling.
+//   * DT stalls — the detector thread's queued work stops draining for a
+//     window of quanta, modelling an OS that never schedules the lowest-
+//     priority context. Pending policy decisions go stale instead of
+//     applying on time.
+//   * switch interference — a Policy_Switch register write is lost
+//     (dropped) or applied late (delayed), modelling bus/firmware faults
+//     in the programmable-priority path.
+//   * fetch blackouts — a context loses its fetch slots for a window of
+//     cycles, modelling the OS stealing the context for other work.
+//
+// The schedule is a pure function of (seed, quantum index): each quantum's
+// events are drawn from make_stream(seed, {tag, quantum}), so the plan is
+// reproducible, order-independent, and snapshot-safe (copying a simulator
+// mid-run replays the identical fault sequence).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pipeline/counters.hpp"
+
+namespace smt::fault {
+
+enum class CounterFaultKind : std::uint8_t {
+  kNone,
+  kNoise,   ///< multiplicative noise on the observed counter values
+  kFreeze,  ///< observed values are one quantum stale
+  kCorrupt, ///< observed values are garbage
+};
+
+/// Bitmask of fault classes active in a quantum (trace/report labelling).
+enum FaultClass : std::uint8_t {
+  kFaultNone = 0,
+  kFaultCounterNoise = 1 << 0,
+  kFaultCounterFreeze = 1 << 1,
+  kFaultCounterCorrupt = 1 << 2,
+  kFaultDtStall = 1 << 3,
+  kFaultSwitchDrop = 1 << 4,
+  kFaultSwitchDelay = 1 << 5,
+  kFaultBlackout = 1 << 6,
+};
+
+struct FaultConfig {
+  bool enabled = false;
+  /// Fault stream seed; independent of the workload seed so the same
+  /// fault schedule can be replayed against different workloads.
+  std::uint64_t seed = 0xFA017;
+
+  // Per-quantum, per-thread probabilities for the counter fault classes
+  // (evaluated in this order; at most one kind per thread per quantum).
+  double counter_noise_prob = 0.0;
+  /// Relative noise magnitude: observed = true × U[1-m, 1+m], clamped ≥ 0.
+  double counter_noise_magnitude = 0.5;
+  double counter_freeze_prob = 0.0;
+  double counter_corrupt_prob = 0.0;
+
+  /// Probability (per quantum boundary) that a DT stall window starts.
+  double dt_stall_prob = 0.0;
+  std::uint32_t dt_stall_quanta = 4;  ///< stall window length
+
+  /// Probability that an applied policy switch is dropped / delayed.
+  double switch_drop_prob = 0.0;
+  double switch_delay_prob = 0.0;
+  std::uint32_t switch_delay_quanta = 2;
+
+  /// Probability (per quantum) that one context suffers a fetch blackout.
+  double blackout_prob = 0.0;
+  std::uint64_t blackout_cycles = 2048;
+
+  /// Any fault class configured with a non-zero rate?
+  [[nodiscard]] bool any_rate_set() const noexcept {
+    return counter_noise_prob > 0 || counter_freeze_prob > 0 ||
+           counter_corrupt_prob > 0 || dt_stall_prob > 0 ||
+           switch_drop_prob > 0 || switch_delay_prob > 0 || blackout_prob > 0;
+  }
+};
+
+/// One thread's counter fault for one quantum.
+struct CounterFault {
+  CounterFaultKind kind = CounterFaultKind::kNone;
+  double scale = 1.0;              ///< noise factor (kNoise)
+  std::uint64_t garbage_seed = 0;  ///< corruption stream (kCorrupt)
+};
+
+/// Everything scheduled to go wrong in one quantum.
+struct QuantumFaults {
+  std::vector<CounterFault> counters;  ///< one entry per thread
+  bool dt_stall_start = false;
+  std::uint32_t dt_stall_quanta = 0;
+  bool drop_switch = false;
+  bool delay_switch = false;
+  std::uint32_t delay_quanta = 0;
+  bool blackout = false;
+  std::uint32_t blackout_tid = 0;
+  std::uint64_t blackout_cycles = 0;
+
+  /// FaultClass bitmask of everything scheduled here.
+  [[nodiscard]] std::uint8_t mask() const noexcept;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return cfg_.enabled && cfg_.any_rate_set();
+  }
+
+  /// The fault schedule for quantum `q` with `num_threads` contexts.
+  /// Pure: same (seed, q, num_threads) always yields the same events.
+  [[nodiscard]] QuantumFaults for_quantum(std::uint64_t q,
+                                          std::uint32_t num_threads) const;
+
+ private:
+  FaultConfig cfg_{};
+};
+
+/// Apply a counter fault to an observed counter sample. `truth` is the
+/// live value, `stale` the snapshot from one quantum ago (used by
+/// kFreeze). Architectural state is never modified — this perturbs the
+/// reader's copy only.
+[[nodiscard]] pipeline::ThreadCounters apply_counter_fault(
+    const CounterFault& f, const pipeline::ThreadCounters& truth,
+    const pipeline::ThreadCounters& stale, std::uint64_t quantum_cycles);
+
+}  // namespace smt::fault

@@ -1,0 +1,87 @@
+#include "fault/injector.hpp"
+
+namespace smt::fault {
+
+FaultInjector::FaultInjector(const FaultConfig& cfg,
+                             std::uint64_t quantum_cycles)
+    : plan_(cfg),
+      quantum_cycles_(quantum_cycles == 0 ? 8192 : quantum_cycles) {}
+
+void FaultInjector::tick(pipeline::Pipeline& pipe) {
+  if (!enabled()) return;
+  if (pipe.now() > 0 && pipe.now() % quantum_cycles_ == 0) {
+    on_quantum_boundary(pipe);
+  }
+}
+
+void FaultInjector::on_quantum_boundary(pipeline::Pipeline& pipe) {
+  const std::uint32_t n = pipe.num_threads();
+
+  // Rotate the freeze snapshots: a frozen read during the next quantum
+  // returns the counters as they stood one boundary ago (pre-reset, so
+  // the stale values look like a plausible full quantum).
+  serve_ = hold_;
+  hold_.assign(n, pipeline::ThreadCounters{});
+  for (std::uint32_t tid = 0; tid < n; ++tid) hold_[tid] = pipe.counters(tid);
+  if (serve_.size() != n) serve_.assign(n, pipeline::ThreadCounters{});
+
+  ++quantum_;
+  ++stats_.quanta;
+  current_ = plan_.for_quantum(quantum_, n);
+  switch_fate_consumed_ = false;
+
+  for (const CounterFault& f : current_.counters) {
+    switch (f.kind) {
+      case CounterFaultKind::kNoise: ++stats_.noisy_counter_reads; break;
+      case CounterFaultKind::kFreeze: ++stats_.frozen_counter_reads; break;
+      case CounterFaultKind::kCorrupt: ++stats_.corrupt_counter_reads; break;
+      case CounterFaultKind::kNone: break;
+    }
+  }
+
+  if (current_.dt_stall_start && dt_stall_remaining_ == 0) {
+    dt_stall_remaining_ = current_.dt_stall_quanta;
+    ++stats_.dt_stall_windows;
+  } else if (dt_stall_remaining_ > 0) {
+    --dt_stall_remaining_;
+  }
+  pipe.set_dt_frozen(dt_stall_remaining_ > 0);
+  if (dt_stall_remaining_ > 0) ++stats_.dt_stalled_quanta;
+
+  if (current_.blackout && current_.blackout_tid < n) {
+    pipe.block_fetch(current_.blackout_tid,
+                     pipe.now() + current_.blackout_cycles);
+    ++stats_.blackouts;
+  }
+}
+
+pipeline::ThreadCounters FaultInjector::counters(
+    const pipeline::Pipeline& pipe, std::uint32_t tid) const {
+  const pipeline::ThreadCounters& truth = pipe.counters(tid);
+  if (!enabled() || tid >= current_.counters.size()) return truth;
+  static const pipeline::ThreadCounters kZero{};
+  const pipeline::ThreadCounters& stale =
+      tid < serve_.size() ? serve_[tid] : kZero;
+  return apply_counter_fault(current_.counters[tid], truth, stale,
+                             quantum_cycles_);
+}
+
+FaultInjector::SwitchFate FaultInjector::take_switch_fate() {
+  if (!enabled() || switch_fate_consumed_) return SwitchFate::kApply;
+  switch_fate_consumed_ = true;
+  if (current_.drop_switch) {
+    ++stats_.switches_dropped;
+    return SwitchFate::kDrop;
+  }
+  if (current_.delay_switch) {
+    ++stats_.switches_delayed;
+    return SwitchFate::kDelay;
+  }
+  return SwitchFate::kApply;
+}
+
+std::uint8_t FaultInjector::current_mask() const noexcept {
+  return enabled() ? current_.mask() : std::uint8_t{kFaultNone};
+}
+
+}  // namespace smt::fault

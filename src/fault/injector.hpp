@@ -1,0 +1,95 @@
+// Runtime fault application: consumes a FaultPlan and perturbs one
+// simulation.
+//
+// The Simulator owns a FaultInjector and calls tick() once per cycle,
+// after the pipeline step and before the detector thread runs. At each
+// quantum boundary the injector advances the plan: it opens/closes DT
+// stall windows (Pipeline::set_dt_frozen), injects fetch blackouts
+// (Pipeline::block_fetch), and rotates the stale-counter snapshots that
+// back the freeze fault. The detector thread reads status counters
+// through counters() instead of Pipeline::counters(), so counter faults
+// corrupt only the observed values, never the architectural state.
+//
+// Value-semantic like everything else in the simulator: copying an
+// injector snapshots the fault state, so a copied simulator replays the
+// identical fault sequence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace smt::fault {
+
+/// What actually got injected (totals over the run).
+struct FaultStats {
+  std::uint64_t quanta = 0;
+  std::uint64_t noisy_counter_reads = 0;   ///< thread-quanta under noise
+  std::uint64_t frozen_counter_reads = 0;  ///< thread-quanta served stale
+  std::uint64_t corrupt_counter_reads = 0;
+  std::uint64_t dt_stall_windows = 0;
+  std::uint64_t dt_stalled_quanta = 0;
+  std::uint64_t switches_dropped = 0;  ///< Policy_Switch writes lost
+  std::uint64_t switches_delayed = 0;
+  std::uint64_t blackouts = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultConfig& cfg, std::uint64_t quantum_cycles);
+
+  [[nodiscard]] bool enabled() const noexcept { return plan_.enabled(); }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+  /// Advance the injector. Call once per cycle after Pipeline::step() and
+  /// before the detector tick, so boundary-cycle faults are in place when
+  /// the detector samples its counters.
+  void tick(pipeline::Pipeline& pipe);
+
+  /// The detector's view of thread `tid`'s status counters this quantum
+  /// (perturbed per the plan; identity when no fault is scheduled).
+  [[nodiscard]] pipeline::ThreadCounters counters(
+      const pipeline::Pipeline& pipe, std::uint32_t tid) const;
+
+  /// The DT's queued work is not draining (stall window open).
+  [[nodiscard]] bool dt_stalled() const noexcept {
+    return dt_stall_remaining_ > 0;
+  }
+
+  /// Fate of a Policy_Switch register write attempted this quantum.
+  enum class SwitchFate : std::uint8_t { kApply, kDrop, kDelay };
+  /// Consult (and consume) this quantum's switch-interference slot. At
+  /// most one switch per quantum is interfered with.
+  [[nodiscard]] SwitchFate take_switch_fate();
+  [[nodiscard]] std::uint32_t switch_delay_quanta() const noexcept {
+    return current_.delay_quanta;
+  }
+
+  /// FaultClass bitmask of the events injected in the current quantum
+  /// (for the --fault-report trace).
+  [[nodiscard]] std::uint8_t current_mask() const noexcept;
+
+ private:
+  void on_quantum_boundary(pipeline::Pipeline& pipe);
+
+  FaultPlan plan_{};
+  std::uint64_t quantum_cycles_ = 8192;
+
+  std::uint64_t quantum_ = 0;  ///< index of the quantum now running
+  QuantumFaults current_{};
+  bool switch_fate_consumed_ = false;
+  std::uint32_t dt_stall_remaining_ = 0;
+
+  /// Counter snapshots: serve_ is the state one quantum ago (what a
+  /// frozen read returns), hold_ the state at the latest boundary.
+  std::vector<pipeline::ThreadCounters> serve_;
+  std::vector<pipeline::ThreadCounters> hold_;
+
+  FaultStats stats_{};
+};
+
+}  // namespace smt::fault

@@ -17,4 +17,29 @@ QuantumRates rates_for_quantum(const ThreadCounters& c,
   return r;
 }
 
+bool counters_plausible(const ThreadCounters& c, std::uint64_t quantum_cycles,
+                        std::uint32_t commit_width,
+                        std::uint32_t rob_per_thread) noexcept {
+  const auto rob = static_cast<std::int32_t>(rob_per_thread);
+  if (c.icount < 0 || c.icount > rob) return false;
+  if (c.brcount < 0 || c.brcount > rob) return false;
+  if (c.ldcount < 0 || c.ldcount > rob) return false;
+  if (c.memcount < 0 || c.memcount > rob) return false;
+  if (c.l1d_outstanding < 0 || c.l1d_outstanding > rob) return false;
+  if (c.l1i_outstanding < 0 || c.l1i_outstanding > rob) return false;
+  // Commit bandwidth bounds what one thread can retire in a quantum, and
+  // every per-quantum event count is at most one per cycle per in-flight
+  // instruction — a quantum × ROB ceiling is generous but unbreakable.
+  if (c.committed_quantum > quantum_cycles * commit_width) return false;
+  const std::uint64_t event_ceiling =
+      quantum_cycles * static_cast<std::uint64_t>(commit_width);
+  if (c.cond_branches_quantum > event_ceiling) return false;
+  if (c.mispredicts_quantum > event_ceiling) return false;
+  if (c.l1d_misses_quantum > event_ceiling) return false;
+  if (c.l1i_misses_quantum > event_ceiling) return false;
+  if (c.lsq_full_events_quantum > event_ceiling) return false;
+  if (c.stalls_quantum > quantum_cycles) return false;
+  return true;
+}
+
 }  // namespace smt::pipeline

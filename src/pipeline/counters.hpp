@@ -84,4 +84,16 @@ struct QuantumRates {
 [[nodiscard]] QuantumRates rates_for_quantum(const ThreadCounters& c,
                                              std::uint64_t quantum_cycles) noexcept;
 
+/// Physical-plausibility screen over one thread's counter values, as a
+/// software reader (the detector thread) would apply it before trusting a
+/// sample. Every bound is a hard hardware ceiling — a healthy pipeline can
+/// NEVER violate one, so a `false` here proves the sample is corrupt; a
+/// `true` only means the lie (if any) was plausible. `commit_width` and
+/// `rob_per_thread` come from the machine config; `quantum_cycles` bounds
+/// the per-quantum event accumulators.
+[[nodiscard]] bool counters_plausible(const ThreadCounters& c,
+                                      std::uint64_t quantum_cycles,
+                                      std::uint32_t commit_width,
+                                      std::uint32_t rob_per_thread) noexcept;
+
 }  // namespace smt::pipeline

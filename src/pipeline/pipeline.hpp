@@ -103,6 +103,12 @@ class Pipeline {
     return dt_work_;
   }
 
+  /// Freeze the DT's retirement: while frozen, queued DT work does not
+  /// drain even through idle fetch slots (the fault layer uses this to
+  /// model an OS that never schedules the lowest-priority context).
+  void set_dt_frozen(bool frozen) noexcept { dt_frozen_ = frozen; }
+  [[nodiscard]] bool dt_frozen() const noexcept { return dt_frozen_; }
+
   // --- observation ------------------------------------------------------
   [[nodiscard]] std::uint64_t now() const noexcept { return cycle_; }
   [[nodiscard]] std::uint32_t num_threads() const noexcept {
@@ -239,6 +245,7 @@ class Pipeline {
   std::uint64_t next_uid_ = 1;
   std::uint64_t next_age_ = 1;
   std::uint64_t dt_work_ = 0;
+  bool dt_frozen_ = false;
 
   PipelineStats stats_;
 };

@@ -47,6 +47,21 @@ SampleResult run_adts(const workload::Mix& mix, core::HeuristicType heuristic,
   return run_sampled(cfg, scale.plan);
 }
 
+SampleResult run_adts_faulted(const workload::Mix& mix,
+                              core::HeuristicType heuristic,
+                              double ipc_threshold, std::size_t threads,
+                              const ExperimentScale& scale,
+                              const fault::FaultConfig& faults,
+                              const core::AdtsConfig* overrides) {
+  SimConfig cfg = make_config(mix, threads, scale.base_seed);
+  cfg.use_adts = true;
+  if (overrides != nullptr) cfg.adts = *overrides;
+  cfg.adts.heuristic = heuristic;
+  cfg.adts.ipc_threshold = ipc_threshold;
+  cfg.fault = faults;
+  return run_sampled(cfg, scale.plan);
+}
+
 OracleResult run_oracle_on_mix(const workload::Mix& mix, std::size_t threads,
                                const ExperimentScale& scale,
                                const OracleConfig& ocfg) {

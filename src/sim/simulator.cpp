@@ -46,6 +46,7 @@ Simulator::Simulator(const SimConfig& cfg)
     : cfg_(cfg),
       pipe_(cfg.machine, build_programs(cfg)),
       detector_(adts_config_of(cfg)),
+      injector_(cfg.fault, cfg.adts.quantum_cycles),
       use_adts_(cfg.use_adts) {
   pipe_.set_policy(cfg.fixed_policy);
 }
@@ -60,7 +61,28 @@ void Simulator::set_adts_active(bool active) {
 
 void Simulator::step() {
   pipe_.step();
-  if (use_adts_) detector_.tick(pipe_);
+  // The injector runs before the detector so boundary-cycle faults
+  // (fresh counter perturbations, stall windows, blackouts) are already
+  // in place when the detector samples its counters.
+  const bool faulted = injector_.enabled();
+  if (faulted) injector_.tick(pipe_);
+  if (use_adts_) detector_.tick(pipe_, faulted ? &injector_ : nullptr);
+
+  if (cfg_.record_trace && pipe_.now() > 0 &&
+      pipe_.now() % cfg_.adts.quantum_cycles == 0) {
+    TraceRow row;
+    row.quantum = trace_.size() + 1;
+    row.cycle = pipe_.now();
+    row.policy = pipe_.policy();
+    row.ipc = detector_.last_quantum_ipc();
+    row.fault_mask = injector_.current_mask();
+    row.guard_state = detector_.guard().state();
+    const core::GuardVerdict& v = detector_.last_guard_verdict();
+    row.guard_revert = v.revert;
+    row.guard_pin = v.pin_safe_policy;
+    row.guard_blocked = !v.allow_switching;
+    trace_.push_back(row);
+  }
 }
 
 void Simulator::run(std::uint64_t cycles) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "fault/injector.hpp"
 #include "pipeline/pipeline.hpp"
 #include "policy/fetch_policy.hpp"
 #include "workload/mix.hpp"
@@ -31,6 +32,28 @@ struct SimConfig {
 
   bool use_adts = false;
   core::AdtsConfig adts{};
+
+  /// Fault injection (src/fault/): disabled by default. The injector is
+  /// aligned to the ADTS quantum so counter faults hit whole detector
+  /// observations.
+  fault::FaultConfig fault{};
+
+  /// Record a per-quantum row of {policy, IPC, injected faults, guard
+  /// action} — the --fault-report trace. Off by default (it allocates).
+  bool record_trace = false;
+};
+
+/// One per-quantum row of the fault/guard trace.
+struct TraceRow {
+  std::uint64_t quantum = 0;
+  std::uint64_t cycle = 0;
+  policy::FetchPolicy policy = policy::FetchPolicy::kIcount;  ///< after boundary
+  double ipc = 0.0;                ///< IPC of the quantum that just ended
+  std::uint8_t fault_mask = 0;     ///< fault::FaultClass bits injected
+  core::GuardState guard_state = core::GuardState::kArmed;
+  bool guard_revert = false;
+  bool guard_pin = false;
+  bool guard_blocked = false;      ///< guard withheld switching this quantum
 };
 
 /// Build a SimConfig for a named mix at a given thread count.
@@ -58,6 +81,13 @@ class Simulator {
     return detector_;
   }
   [[nodiscard]] bool adts_enabled() const noexcept { return use_adts_; }
+  [[nodiscard]] const fault::FaultInjector& faults() const noexcept {
+    return injector_;
+  }
+  /// Per-quantum fault/guard trace (empty unless cfg.record_trace).
+  [[nodiscard]] const std::vector<TraceRow>& trace() const noexcept {
+    return trace_;
+  }
 
   /// Suspend / resume the detector thread. Resuming re-baselines the
   /// detector (DetectorThread::arm) and resets quantum counters so the
@@ -77,6 +107,8 @@ class Simulator {
   SimConfig cfg_;
   pipeline::Pipeline pipe_;
   core::DetectorThread detector_;
+  fault::FaultInjector injector_;
+  std::vector<TraceRow> trace_;
   bool use_adts_ = false;
 };
 

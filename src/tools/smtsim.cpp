@@ -4,12 +4,16 @@
 // policy, under ADTS, or under the oracle, with the machine knobs
 // exposed as options. Prints a human-readable report or CSV.
 //
+// Exit codes: 0 success, 2 usage error (unknown/malformed option),
+// 3 configuration error (valid syntax, invalid value).
+//
 // Examples:
 //   smtsim --mix int8 --cycles 500000
 //   smtsim --apps gzip,mcf,swim,crafty --policy BRCOUNT
 //   smtsim --mix ctrl8 --adts --heuristic 3 --threshold 2
 //   smtsim --mix bal1 --oracle --quanta 16
 //   smtsim --mix fp8 --threads 4 --csv
+//   smtsim --mix mem8 --adts --guard --fault-corrupt 0.3 --fault-report
 #include <iostream>
 #include <string>
 
@@ -23,24 +27,45 @@
 
 namespace {
 
+constexpr int kExitUsage = 2;
+constexpr int kExitConfig = 3;
+
 constexpr const char* kUsage = R"(usage: smtsim [options]
 
 workload (one of):
   --mix NAME            one of the 13 built-in mixes (see --list)
   --apps a,b,c,...      explicit application list (max 8)
-  --threads N           contexts to use from the mix (default 8)
+  --threads N           contexts to use from the mix, 1..8 (default 8)
   --seed N              workload seed (default 2003)
 
 scheduling (one of):
   --policy NAME         fixed fetch policy (default ICOUNT)
   --adts                adaptive scheduling (detector thread)
     --heuristic 1|2|3|3p|4    (default 3)
-    --threshold M             IPC threshold (default 2)
-    --quantum CYCLES          scheduling quantum (default 8192)
+    --threshold M             IPC threshold, > 0 (default 2)
+    --quantum CYCLES          scheduling quantum, > 0 (default 8192)
     --instant                 zero-cost switching (ablation)
+    --guard                   graceful-degradation guard (watchdog revert,
+                              switch hysteresis, safe-mode fallback)
   --oracle              per-quantum oracle over {ICOUNT,BRCOUNT,L1MISSCOUNT}
     --all-policies            oracle over all ten policies
     --quanta N                oracle quanta (default 16)
+
+fault injection (all probabilities per quantum, in [0,1]):
+  --fault-seed N              fault schedule seed (default 0xFA017)
+  --fault-noise P             per-thread counter noise probability
+  --fault-noise-mag M         relative noise magnitude (default 0.5)
+  --fault-freeze P            per-thread stale-counter probability
+  --fault-corrupt P           per-thread garbage-counter probability
+  --fault-dt-stall P          DT stall-window start probability
+  --fault-stall-quanta K      stall window length in quanta (default 4)
+  --fault-drop P              Policy_Switch write-loss probability
+  --fault-delay P             Policy_Switch delay probability
+  --fault-delay-quanta K      switch delay in quanta (default 2)
+  --fault-blackout P          per-quantum fetch-blackout probability
+  --fault-blackout-cycles N   blackout length in cycles (default 2048)
+  --fault-report              per-quantum CSV trace of faults, guard
+                              actions and the policy timeline
 
 run control:
   --cycles N            cycles to simulate (default 262144)
@@ -73,7 +98,73 @@ smt::core::HeuristicType parse_heuristic(const std::string& s) {
   if (s == "3") return HeuristicType::kType3;
   if (s == "3p" || s == "3'") return HeuristicType::kType3Prime;
   if (s == "4") return HeuristicType::kType4;
-  throw std::invalid_argument("--heuristic must be 1|2|3|3p|4");
+  throw smt::ConfigError("--heuristic must be one of 1|2|3|3p|4, got '" + s +
+                         "'");
+}
+
+/// Read a probability option; rejects values outside [0,1].
+double get_prob(const smt::CliArgs& args, const std::string& key) {
+  const double p = args.get_double(key, 0.0);
+  if (p < 0.0 || p > 1.0) {
+    throw smt::ConfigError("--" + key + " is a probability and must be in "
+                           "[0,1], got " + std::to_string(p));
+  }
+  return p;
+}
+
+smt::fault::FaultConfig parse_fault_config(const smt::CliArgs& args) {
+  smt::fault::FaultConfig f;
+  f.seed = args.get_u64("fault-seed", f.seed);
+  f.counter_noise_prob = get_prob(args, "fault-noise");
+  f.counter_noise_magnitude = args.get_double("fault-noise-mag", 0.5);
+  if (f.counter_noise_magnitude < 0.0) {
+    throw smt::ConfigError("--fault-noise-mag must be >= 0");
+  }
+  f.counter_freeze_prob = get_prob(args, "fault-freeze");
+  f.counter_corrupt_prob = get_prob(args, "fault-corrupt");
+  f.dt_stall_prob = get_prob(args, "fault-dt-stall");
+  f.dt_stall_quanta =
+      static_cast<std::uint32_t>(args.get_u64("fault-stall-quanta", 4));
+  f.switch_drop_prob = get_prob(args, "fault-drop");
+  f.switch_delay_prob = get_prob(args, "fault-delay");
+  f.switch_delay_quanta =
+      static_cast<std::uint32_t>(args.get_u64("fault-delay-quanta", 2));
+  f.blackout_prob = get_prob(args, "fault-blackout");
+  f.blackout_cycles = args.get_u64("fault-blackout-cycles", 2048);
+  f.enabled = f.any_rate_set();
+  return f;
+}
+
+void print_fault_report(const smt::sim::Simulator& sim) {
+  using namespace smt;
+  std::cout << "quantum,cycle,policy,ipc,guard_state,faults,guard_action\n";
+  for (const sim::TraceRow& r : sim.trace()) {
+    std::string faults;
+    const auto add = [&faults](const char* tag) {
+      if (!faults.empty()) faults += '|';
+      faults += tag;
+    };
+    if (r.fault_mask & fault::kFaultCounterNoise) add("noise");
+    if (r.fault_mask & fault::kFaultCounterFreeze) add("freeze");
+    if (r.fault_mask & fault::kFaultCounterCorrupt) add("corrupt");
+    if (r.fault_mask & fault::kFaultDtStall) add("dt-stall");
+    if (r.fault_mask & fault::kFaultSwitchDrop) add("drop");
+    if (r.fault_mask & fault::kFaultSwitchDelay) add("delay");
+    if (r.fault_mask & fault::kFaultBlackout) add("blackout");
+    if (faults.empty()) faults = "-";
+    std::string action = "-";
+    if (r.guard_pin) {
+      action = "pin-safe";
+    } else if (r.guard_revert) {
+      action = "revert";
+    } else if (r.guard_blocked) {
+      action = "hold";
+    }
+    std::cout << r.quantum << ',' << r.cycle << ','
+              << policy::name(r.policy) << ',' << Table::num(r.ipc) << ','
+              << core::name(r.guard_state) << ',' << faults << ',' << action
+              << '\n';
+  }
 }
 
 }  // namespace
@@ -81,13 +172,17 @@ smt::core::HeuristicType parse_heuristic(const std::string& s) {
 int main(int argc, char** argv) {
   using namespace smt;
   try {
-    const CliArgs args(argc, argv,
-                       {"mix", "apps", "threads", "seed", "policy", "adts",
-                        "heuristic", "threshold", "quantum", "instant",
-                        "oracle", "all-policies", "quanta", "cycles",
-                        "warmup", "csv", "list", "help"},
-                       /*flag_keys=*/{"adts", "instant", "oracle",
-                                      "all-policies", "csv", "list", "help"});
+    const CliArgs args(
+        argc, argv,
+        {"mix", "apps", "threads", "seed", "policy", "adts", "heuristic",
+         "threshold", "quantum", "instant", "guard", "oracle", "all-policies",
+         "quanta", "cycles", "warmup", "csv", "list", "help", "fault-seed",
+         "fault-noise", "fault-noise-mag", "fault-freeze", "fault-corrupt",
+         "fault-dt-stall", "fault-stall-quanta", "fault-drop", "fault-delay",
+         "fault-delay-quanta", "fault-blackout", "fault-blackout-cycles",
+         "fault-report"},
+        /*flag_keys=*/{"adts", "instant", "guard", "oracle", "all-policies",
+                       "csv", "list", "help", "fault-report"});
     if (args.has("help")) {
       std::cout << kUsage;
       return 0;
@@ -99,23 +194,60 @@ int main(int argc, char** argv) {
 
     sim::SimConfig cfg;
     cfg.workload_seed = args.get_u64("seed", 2003);
-    const std::size_t threads = args.get_u64("threads", 8);
+    const std::uint64_t threads = args.get_u64("threads", 8);
+    if (threads < 1 || threads > 8) {
+      throw ConfigError("--threads must be between 1 and 8 (the machine has "
+                        "8 hardware contexts), got " +
+                        std::to_string(threads));
+    }
     if (args.has("apps")) {
       cfg.apps = split_list(args.get_or("apps", ""));
+      if (cfg.apps.empty()) {
+        throw ConfigError("--apps needs at least one application name "
+                          "(see --list)");
+      }
+      if (cfg.apps.size() > 8) {
+        throw ConfigError("--apps lists " + std::to_string(cfg.apps.size()) +
+                          " applications but the machine has 8 contexts");
+      }
     } else {
-      cfg.apps = workload::mix_for_threads(
-          workload::mix(args.get_or("mix", "bal1")), threads,
-          cfg.workload_seed);
+      try {
+        cfg.apps = workload::mix_for_threads(
+            workload::mix(args.get_or("mix", "bal1")),
+            static_cast<std::size_t>(threads), cfg.workload_seed);
+      } catch (const std::exception&) {
+        throw ConfigError("unknown mix '" + args.get_or("mix", "bal1") +
+                          "' (see --list for the 13 built-in mixes)");
+      }
     }
-    cfg.fixed_policy = policy::parse_policy(args.get_or("policy", "ICOUNT"));
+    try {
+      cfg.fixed_policy = policy::parse_policy(args.get_or("policy", "ICOUNT"));
+    } catch (const std::exception&) {
+      throw ConfigError("unknown fetch policy '" +
+                        args.get_or("policy", "ICOUNT") +
+                        "' (see --list for the ten policies)");
+    }
+
+    const double threshold = args.get_double("threshold", 2.0);
+    if (threshold <= 0.0) {
+      throw ConfigError("--threshold must be > 0 (IPC units), got " +
+                        std::to_string(threshold));
+    }
+    const std::uint64_t quantum = args.get_u64("quantum", 8192);
+    if (quantum == 0) {
+      throw ConfigError("--quantum must be > 0 cycles");
+    }
 
     const std::uint64_t warmup = args.get_u64("warmup", 32768);
     const std::uint64_t cycles = args.get_u64("cycles", 262144);
+    if (cycles == 0) {
+      throw ConfigError("--cycles must be > 0");
+    }
     const bool csv = args.has("csv");
 
     if (args.has("oracle")) {
       sim::OracleConfig ocfg;
-      ocfg.quantum_cycles = args.get_u64("quantum", 8192);
+      ocfg.quantum_cycles = quantum;
       if (args.has("all-policies")) ocfg.candidates = policy::all_policies();
       const std::uint64_t quanta = args.get_u64("quanta", 16);
 
@@ -141,10 +273,21 @@ int main(int argc, char** argv) {
     if (args.has("adts")) {
       cfg.use_adts = true;
       cfg.adts.heuristic = parse_heuristic(args.get_or("heuristic", "3"));
-      cfg.adts.ipc_threshold = args.get_double("threshold", 2.0);
-      cfg.adts.quantum_cycles = args.get_u64("quantum", 8192);
+      cfg.adts.ipc_threshold = threshold;
+      cfg.adts.quantum_cycles = quantum;
       cfg.adts.instant_switch = args.has("instant");
+      cfg.adts.guard.enabled = args.has("guard");
+    } else if (args.has("guard")) {
+      throw ConfigError("--guard protects the detector thread and needs "
+                        "--adts");
     }
+    if (args.has("fault-report") && !args.has("adts")) {
+      throw ConfigError("--fault-report traces the detector thread's quanta "
+                        "and needs --adts");
+    }
+
+    cfg.fault = parse_fault_config(args);
+    cfg.record_trace = args.has("fault-report");
 
     sim::Simulator sim(cfg);
     sim.run(warmup);
@@ -153,15 +296,22 @@ int main(int argc, char** argv) {
     const double ipc =
         static_cast<double>(sim.committed() - c0) / static_cast<double>(cycles);
 
+    if (args.has("fault-report")) {
+      print_fault_report(sim);
+      return 0;
+    }
+
     const auto& st = sim.pipeline().stats();
     const auto& dt = sim.detector().stats();
     if (csv) {
       std::cout << "mode,ipc,cycles,committed,switches,benign,mispredicts,"
-                   "wrong_path_fetched\n"
+                   "wrong_path_fetched,guard_reverts,guard_safe_mode\n"
                 << (cfg.use_adts ? "adts" : "fixed") << ',' << ipc << ','
                 << cycles << ',' << sim.committed() - c0 << ',' << dt.switches
                 << ',' << dt.benign_switches << ',' << st.mispredicts << ','
-                << st.fetched_wrong_path << '\n';
+                << st.fetched_wrong_path << ','
+                << sim.detector().guard().stats().reverts << ','
+                << sim.detector().guard().stats().safe_mode_entries << '\n';
       return 0;
     }
 
@@ -180,9 +330,33 @@ int main(int argc, char** argv) {
                 << " malignant / " << dt.switches_skipped_dt_busy
                 << " skipped)\n";
     }
+    if (cfg.fault.enabled) {
+      const auto& fs = sim.faults().stats();
+      std::cout << "faults injected: " << fs.noisy_counter_reads
+                << " noisy / " << fs.frozen_counter_reads << " frozen / "
+                << fs.corrupt_counter_reads << " corrupt counter reads, "
+                << fs.dt_stall_windows << " DT stalls, "
+                << fs.switches_dropped << " dropped + "
+                << fs.switches_delayed << " delayed switches, "
+                << fs.blackouts << " blackouts\n";
+    }
+    if (cfg.use_adts && cfg.adts.guard.enabled) {
+      const auto& gs = sim.detector().guard().stats();
+      std::cout << "guard [" << core::name(sim.detector().guard().state())
+                << "]: " << gs.anomalies << " anomalies, " << gs.reverts
+                << " reverts, " << gs.vetoed_switches << " vetoes, "
+                << gs.safe_mode_entries << " safe-mode entries ("
+                << gs.safe_mode_quanta << " quanta pinned)\n";
+    }
     return 0;
-  } catch (const std::exception& e) {
+  } catch (const UsageError& e) {
     std::cerr << "smtsim: " << e.what() << "\n\n" << kUsage;
-    return 1;
+    return kExitUsage;
+  } catch (const ConfigError& e) {
+    std::cerr << "smtsim: " << e.what() << '\n';
+    return kExitConfig;
+  } catch (const std::exception& e) {
+    std::cerr << "smtsim: " << e.what() << '\n';
+    return kExitConfig;
   }
 }

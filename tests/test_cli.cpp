@@ -64,6 +64,14 @@ TEST(Cli, NumericValidation) {
   EXPECT_THROW((void)a.get_double("threshold", 0), std::invalid_argument);
 }
 
+TEST(Cli, ExplicitEmptyNumericValueThrows) {
+  // `--threads ''` is a scripting mistake, not an absent option; it must
+  // not silently fall back to the default.
+  const CliArgs a = parse({"prog", "--threads", "", "--threshold", ""});
+  EXPECT_THROW((void)a.get_u64("threads", 0), std::invalid_argument);
+  EXPECT_THROW((void)a.get_double("threshold", 0), std::invalid_argument);
+}
+
 TEST(Cli, FlagDoesNotConsumeFollowingPositional) {
   const CliArgs a = parse({"prog", "--csv", "tail"});
   EXPECT_TRUE(a.has("csv"));

@@ -1,0 +1,291 @@
+// Unit tests: the fault plan and injector (src/fault/).
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "sim/simulator.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/mix.hpp"
+
+namespace smt::fault {
+namespace {
+
+FaultConfig all_faults(std::uint64_t seed = 0xFA017) {
+  FaultConfig f;
+  f.enabled = true;
+  f.seed = seed;
+  f.counter_noise_prob = 0.3;
+  f.counter_freeze_prob = 0.2;
+  f.counter_corrupt_prob = 0.2;
+  f.dt_stall_prob = 0.2;
+  f.switch_drop_prob = 0.2;
+  f.switch_delay_prob = 0.2;
+  f.blackout_prob = 0.2;
+  return f;
+}
+
+bool same_quantum(const QuantumFaults& a, const QuantumFaults& b) {
+  if (a.counters.size() != b.counters.size()) return false;
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    if (a.counters[i].kind != b.counters[i].kind ||
+        a.counters[i].scale != b.counters[i].scale ||
+        a.counters[i].garbage_seed != b.counters[i].garbage_seed) {
+      return false;
+    }
+  }
+  return a.dt_stall_start == b.dt_stall_start &&
+         a.dt_stall_quanta == b.dt_stall_quanta &&
+         a.drop_switch == b.drop_switch &&
+         a.delay_switch == b.delay_switch &&
+         a.delay_quanta == b.delay_quanta && a.blackout == b.blackout &&
+         a.blackout_tid == b.blackout_tid &&
+         a.blackout_cycles == b.blackout_cycles;
+}
+
+TEST(FaultPlan, DisabledUnlessEnabledAndRatesSet) {
+  EXPECT_FALSE(FaultPlan{}.enabled());
+
+  FaultConfig armed_but_quiet;
+  armed_but_quiet.enabled = true;  // no rates configured
+  EXPECT_FALSE(FaultPlan(armed_but_quiet).enabled());
+
+  FaultConfig rates_but_disarmed = all_faults();
+  rates_but_disarmed.enabled = false;
+  EXPECT_FALSE(FaultPlan(rates_but_disarmed).enabled());
+
+  EXPECT_TRUE(FaultPlan(all_faults()).enabled());
+}
+
+TEST(FaultPlan, DisabledPlanSchedulesNothing) {
+  FaultConfig cfg = all_faults();
+  cfg.enabled = false;
+  const FaultPlan plan(cfg);
+  for (std::uint64_t q = 0; q < 32; ++q) {
+    const QuantumFaults f = plan.for_quantum(q, 8);
+    EXPECT_EQ(f.mask(), kFaultNone);
+  }
+}
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  const FaultPlan a(all_faults());
+  const FaultPlan b(all_faults());
+  for (std::uint64_t q = 0; q < 64; ++q) {
+    EXPECT_TRUE(same_quantum(a.for_quantum(q, 8), b.for_quantum(q, 8)))
+        << "quantum " << q;
+  }
+}
+
+TEST(FaultPlan, ScheduleIsOrderIndependent) {
+  const FaultPlan plan(all_faults());
+  std::vector<QuantumFaults> forward;
+  for (std::uint64_t q = 0; q < 64; ++q) {
+    forward.push_back(plan.for_quantum(q, 8));
+  }
+  for (std::uint64_t q = 64; q-- > 0;) {
+    EXPECT_TRUE(same_quantum(forward[q], plan.for_quantum(q, 8)))
+        << "quantum " << q;
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer) {
+  const FaultPlan a(all_faults(1));
+  const FaultPlan b(all_faults(2));
+  int mismatches = 0;
+  for (std::uint64_t q = 0; q < 64; ++q) {
+    if (!same_quantum(a.for_quantum(q, 8), b.for_quantum(q, 8))) ++mismatches;
+  }
+  EXPECT_GT(mismatches, 0);
+}
+
+TEST(FaultPlan, NoiseScaleStaysWithinMagnitudeBounds) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.counter_noise_prob = 1.0;
+  cfg.counter_noise_magnitude = 0.3;
+  const FaultPlan plan(cfg);
+  for (std::uint64_t q = 0; q < 128; ++q) {
+    for (const CounterFault& f : plan.for_quantum(q, 8).counters) {
+      ASSERT_EQ(f.kind, CounterFaultKind::kNoise);
+      EXPECT_GE(f.scale, 0.7);
+      EXPECT_LE(f.scale, 1.3);
+    }
+  }
+}
+
+TEST(FaultPlan, DropAndDelayAreMutuallyExclusive) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.switch_drop_prob = 1.0;
+  cfg.switch_delay_prob = 1.0;
+  const FaultPlan plan(cfg);
+  for (std::uint64_t q = 0; q < 32; ++q) {
+    const QuantumFaults f = plan.for_quantum(q, 4);
+    EXPECT_TRUE(f.drop_switch);
+    EXPECT_FALSE(f.delay_switch);
+  }
+}
+
+// --- apply_counter_fault ---------------------------------------------------
+
+pipeline::ThreadCounters truth_counters() {
+  pipeline::ThreadCounters c;
+  c.icount = 40;
+  c.brcount = 6;
+  c.memcount = 12;
+  c.committed_quantum = 1000;
+  c.mispredicts_quantum = 30;
+  c.stalls_quantum = 200;
+  return c;
+}
+
+TEST(ApplyCounterFault, NoneIsIdentity) {
+  const pipeline::ThreadCounters truth = truth_counters();
+  const pipeline::ThreadCounters out =
+      apply_counter_fault(CounterFault{}, truth, {}, 1024);
+  EXPECT_EQ(out.icount, truth.icount);
+  EXPECT_EQ(out.committed_quantum, truth.committed_quantum);
+  EXPECT_EQ(out.stalls_quantum, truth.stalls_quantum);
+}
+
+TEST(ApplyCounterFault, FreezeReturnsTheStaleSnapshot) {
+  pipeline::ThreadCounters stale;
+  stale.icount = 7;
+  stale.committed_quantum = 42;
+  CounterFault f;
+  f.kind = CounterFaultKind::kFreeze;
+  const pipeline::ThreadCounters out =
+      apply_counter_fault(f, truth_counters(), stale, 1024);
+  EXPECT_EQ(out.icount, 7);
+  EXPECT_EQ(out.committed_quantum, 42u);
+}
+
+TEST(ApplyCounterFault, NoiseScalesEveryObservedField) {
+  CounterFault f;
+  f.kind = CounterFaultKind::kNoise;
+  f.scale = 0.5;
+  const pipeline::ThreadCounters out =
+      apply_counter_fault(f, truth_counters(), {}, 1024);
+  EXPECT_EQ(out.icount, 20);
+  EXPECT_EQ(out.brcount, 3);
+  EXPECT_EQ(out.committed_quantum, 500u);
+  EXPECT_EQ(out.mispredicts_quantum, 15u);
+  EXPECT_EQ(out.stalls_quantum, 100u);
+}
+
+TEST(ApplyCounterFault, NoiseClampsAtZero) {
+  pipeline::ThreadCounters truth;
+  truth.icount = 3;
+  truth.committed_quantum = 5;
+  CounterFault f;
+  f.kind = CounterFaultKind::kNoise;
+  f.scale = 0.0;
+  const pipeline::ThreadCounters out =
+      apply_counter_fault(f, truth, {}, 1024);
+  EXPECT_EQ(out.icount, 0);
+  EXPECT_EQ(out.committed_quantum, 0u);
+}
+
+TEST(ApplyCounterFault, CorruptionIsAFunctionOfTheGarbageSeed) {
+  CounterFault f;
+  f.kind = CounterFaultKind::kCorrupt;
+  f.garbage_seed = 99;
+  const pipeline::ThreadCounters a =
+      apply_counter_fault(f, truth_counters(), {}, 1024);
+  const pipeline::ThreadCounters b =
+      apply_counter_fault(f, truth_counters(), {}, 1024);
+  EXPECT_EQ(a.committed_quantum, b.committed_quantum);
+  EXPECT_EQ(a.icount, b.icount);
+
+  f.garbage_seed = 100;
+  const pipeline::ThreadCounters c =
+      apply_counter_fault(f, truth_counters(), {}, 1024);
+  EXPECT_TRUE(c.committed_quantum != a.committed_quantum ||
+              c.icount != a.icount || c.mispredicts_quantum !=
+              a.mispredicts_quantum);
+}
+
+// --- injector / pipeline integration ---------------------------------------
+
+sim::SimConfig quick_sim(const char* mix_name) {
+  sim::SimConfig cfg = sim::make_config(workload::mix(mix_name), 8, 2003);
+  cfg.adts.quantum_cycles = 1024;
+  return cfg;
+}
+
+TEST(FaultInjector, DtStallWindowFreezesTheDetectorThread) {
+  sim::SimConfig cfg = quick_sim("bal1");
+  cfg.use_adts = true;
+  cfg.fault.enabled = true;
+  cfg.fault.dt_stall_prob = 1.0;
+  cfg.fault.dt_stall_quanta = 2;
+  sim::Simulator sim(cfg);
+  sim.run(8 * 1024);
+  EXPECT_GT(sim.faults().stats().dt_stall_windows, 0u);
+  EXPECT_GT(sim.faults().stats().dt_stalled_quanta,
+            sim.faults().stats().dt_stall_windows);
+  EXPECT_TRUE(sim.pipeline().dt_frozen());
+}
+
+TEST(FaultInjector, FrozenDtDoesNotDrainQueuedWork) {
+  sim::SimConfig cfg = quick_sim("ilp8");
+  sim::Simulator sim(cfg);
+  sim.pipeline().set_dt_frozen(true);
+  sim.pipeline().add_dt_work(64);
+  sim.run(4 * 1024);
+  EXPECT_EQ(sim.pipeline().dt_work_remaining(), 64u);
+  sim.pipeline().set_dt_frozen(false);
+  sim.run(4 * 1024);
+  EXPECT_EQ(sim.pipeline().dt_work_remaining(), 0u);
+}
+
+TEST(FaultInjector, SameConfigReplaysTheIdenticalRun) {
+  sim::SimConfig cfg = quick_sim("mem8");
+  cfg.use_adts = true;
+  cfg.adts.guard.enabled = true;
+  cfg.fault = all_faults();
+  cfg.record_trace = true;
+  sim::Simulator a(cfg);
+  sim::Simulator b(cfg);
+  a.run(16 * 1024);
+  b.run(16 * 1024);
+  EXPECT_EQ(a.committed(), b.committed());
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (std::size_t i = 0; i < a.trace().size(); ++i) {
+    EXPECT_EQ(a.trace()[i].policy, b.trace()[i].policy) << "row " << i;
+    EXPECT_EQ(a.trace()[i].fault_mask, b.trace()[i].fault_mask) << "row " << i;
+    EXPECT_EQ(a.trace()[i].guard_state, b.trace()[i].guard_state)
+        << "row " << i;
+  }
+}
+
+TEST(FaultInjector, CounterFaultsNeverTouchArchitecturalState) {
+  // Counter faults perturb only the detector's *view*; with ADTS disabled
+  // nobody reads that view, so the simulation must be bit-identical to a
+  // fault-free run.
+  sim::SimConfig clean = quick_sim("ctrl8");
+  sim::SimConfig faulty = clean;
+  faulty.fault.enabled = true;
+  faulty.fault.counter_noise_prob = 1.0;
+  faulty.fault.counter_corrupt_prob = 1.0;
+  sim::Simulator a(clean);
+  sim::Simulator b(faulty);
+  a.run(8 * 1024);
+  b.run(8 * 1024);
+  EXPECT_EQ(a.committed(), b.committed());
+  EXPECT_GT(b.faults().stats().noisy_counter_reads +
+                b.faults().stats().corrupt_counter_reads,
+            0u);
+}
+
+TEST(FaultInjector, BlackoutsAreInjected) {
+  sim::SimConfig cfg = quick_sim("bal1");
+  cfg.fault.enabled = true;
+  cfg.fault.blackout_prob = 1.0;
+  cfg.fault.blackout_cycles = 256;
+  sim::Simulator sim(cfg);
+  sim.run(8 * 1024);
+  EXPECT_GE(sim.faults().stats().blackouts, 7u);
+}
+
+}  // namespace
+}  // namespace smt::fault

@@ -1,0 +1,367 @@
+// Unit tests: the ADTS graceful-degradation guard (core/guard.hpp).
+//
+// The unit tests drive DegradationGuard::on_quantum with hand-crafted
+// observations; the regression tests at the bottom run full simulations
+// and enforce the guard's central contract — on a fault-free run it
+// observes but never acts, so guarded and unguarded ADTS are
+// bit-identical.
+#include <gtest/gtest.h>
+
+#include "core/guard.hpp"
+#include "sim/simulator.hpp"
+#include "workload/mix.hpp"
+
+namespace smt::core {
+namespace {
+
+GuardConfig quick_cfg() {
+  GuardConfig cfg;
+  cfg.enabled = true;
+  cfg.revert_margin = 0.10;
+  cfg.dwell_quanta = 3;
+  cfg.safe_mode_failures = 3;
+  cfg.safe_mode_quanta = 4;
+  cfg.cooldown_quanta = 3;
+  cfg.suspicion_quanta = 8;
+  return cfg;
+}
+
+/// A quantum where nothing is wrong: counters reconcile, no switch.
+GuardObservation clean() {
+  GuardObservation obs;
+  obs.ipc_last = 2.0;
+  obs.committed_truth = 2048;
+  obs.committed_counters = 2048;
+  return obs;
+}
+
+/// A quantum whose per-thread counters disagree with the global
+/// retirement counter — impossible fault-free.
+GuardObservation anomaly() {
+  GuardObservation obs = clean();
+  obs.committed_counters = 1500;
+  return obs;
+}
+
+/// A scored switch that halved throughput (damage 0.5 ≫ margin).
+GuardObservation malignant_switch(GuardObservation base) {
+  base.switch_scored = true;
+  base.switch_benign = false;
+  base.ipc_before_switch = 2.0;
+  base.ipc_last = 1.0;
+  base.switch_incumbent = policy::FetchPolicy::kBrcount;
+  return base;
+}
+
+/// Drive the guard into SAFE_MODE: repeated anomalous malignant switches.
+void trip_safe_mode(DegradationGuard& g) {
+  for (std::uint32_t i = 0; i < g.config().safe_mode_failures; ++i) {
+    g.note_switch_applied();
+    (void)g.on_quantum(malignant_switch(anomaly()));
+  }
+  ASSERT_EQ(g.state(), GuardState::kSafeMode);
+}
+
+TEST(Guard, DisabledGuardNeverActs) {
+  DegradationGuard g;  // default config: enabled = false
+  const GuardVerdict v = g.on_quantum(malignant_switch(anomaly()));
+  EXPECT_FALSE(v.revert);
+  EXPECT_FALSE(v.pin_safe_policy);
+  EXPECT_TRUE(v.allow_switching);
+  EXPECT_EQ(g.stats().quanta, 0u);
+}
+
+TEST(Guard, CleanQuantaLeaveTheGuardQuiet) {
+  DegradationGuard g(quick_cfg());
+  for (int i = 0; i < 20; ++i) {
+    const GuardVerdict v = g.on_quantum(clean());
+    EXPECT_FALSE(v.revert);
+    EXPECT_FALSE(v.pin_safe_policy);
+    EXPECT_TRUE(v.allow_switching);
+  }
+  EXPECT_EQ(g.stats().anomalies, 0u);
+  EXPECT_EQ(g.state(), GuardState::kArmed);
+  EXPECT_FALSE(g.suspicious());
+}
+
+TEST(Guard, CommittedMismatchRaisesSuspicion) {
+  DegradationGuard g(quick_cfg());
+  (void)g.on_quantum(anomaly());
+  EXPECT_TRUE(g.suspicious());
+  EXPECT_EQ(g.stats().anomalies, 1u);
+}
+
+TEST(Guard, ImplausibleCountersRaiseSuspicion) {
+  DegradationGuard g(quick_cfg());
+  GuardObservation obs = clean();
+  obs.counters_implausible = true;
+  (void)g.on_quantum(obs);
+  EXPECT_TRUE(g.suspicious());
+  EXPECT_EQ(g.stats().anomalies, 1u);
+}
+
+TEST(Guard, SuspicionExpires) {
+  DegradationGuard g(quick_cfg());
+  (void)g.on_quantum(anomaly());
+  for (std::uint32_t i = 0; i < quick_cfg().suspicion_quanta; ++i) {
+    (void)g.on_quantum(clean());
+  }
+  EXPECT_FALSE(g.suspicious());
+}
+
+TEST(Guard, OrganicMalignantSwitchIsNotReverted) {
+  // Malignant switches happen in healthy runs (paper Fig. 7c/d); with no
+  // integrity anomaly the watchdog must not intervene.
+  DegradationGuard g(quick_cfg());
+  g.note_switch_applied();
+  const GuardVerdict v = g.on_quantum(malignant_switch(clean()));
+  EXPECT_FALSE(v.revert);
+  EXPECT_EQ(g.stats().reverts, 0u);
+  EXPECT_EQ(g.state(), GuardState::kArmed);
+}
+
+TEST(Guard, WatchdogRevertsMalignantSwitchUnderSuspicion) {
+  DegradationGuard g(quick_cfg());
+  (void)g.on_quantum(anomaly());
+  g.note_switch_applied();
+  const GuardVerdict v = g.on_quantum(malignant_switch(anomaly()));
+  EXPECT_TRUE(v.revert);
+  EXPECT_EQ(v.revert_to, policy::FetchPolicy::kBrcount);
+  EXPECT_FALSE(v.allow_switching);  // no re-switch in the revert quantum
+  EXPECT_EQ(g.state(), GuardState::kReverting);
+  EXPECT_EQ(g.stats().reverts, 1u);
+}
+
+TEST(Guard, DamageBelowMarginIsTolerated) {
+  DegradationGuard g(quick_cfg());
+  (void)g.on_quantum(anomaly());
+  GuardObservation obs = malignant_switch(anomaly());
+  obs.ipc_before_switch = 2.0;
+  obs.ipc_last = 1.9;  // 5% damage < 10% margin
+  g.note_switch_applied();
+  const GuardVerdict v = g.on_quantum(obs);
+  EXPECT_FALSE(v.revert);
+  EXPECT_EQ(g.stats().reverts, 0u);
+}
+
+TEST(Guard, StaleSwitchIsRevertedEvenWithoutPriorSuspicion) {
+  // A switch applied a quantum after it was decided is itself proof of
+  // interference (fault-free, stale decisions drop at the boundary).
+  DegradationGuard g(quick_cfg());
+  GuardObservation obs = malignant_switch(clean());
+  obs.switch_stale = true;
+  obs.ipc_last = 1.99;  // negligible damage: staleness alone justifies it
+  obs.ipc_before_switch = 2.0;
+  g.note_switch_applied();
+  const GuardVerdict v = g.on_quantum(obs);
+  EXPECT_TRUE(v.revert);
+  EXPECT_EQ(g.stats().stale_switches, 1u);
+}
+
+TEST(Guard, BenignSwitchResetsTheFailureStreak) {
+  DegradationGuard g(quick_cfg());
+  for (int i = 0; i < 2; ++i) {
+    g.note_switch_applied();
+    (void)g.on_quantum(malignant_switch(anomaly()));
+  }
+  EXPECT_EQ(g.consecutive_failures(), 2u);
+
+  GuardObservation good = anomaly();
+  good.switch_scored = true;
+  good.switch_benign = true;
+  g.note_switch_applied();
+  (void)g.on_quantum(good);
+  EXPECT_EQ(g.consecutive_failures(), 0u);
+  EXPECT_EQ(g.state(), GuardState::kArmed);
+
+  // One more failure is now 1 of 3, not 3 of 3: no safe mode.
+  g.note_switch_applied();
+  (void)g.on_quantum(malignant_switch(anomaly()));
+  EXPECT_EQ(g.state(), GuardState::kReverting);
+}
+
+TEST(Guard, SafeModeTripsAfterConsecutiveFailures) {
+  DegradationGuard g(quick_cfg());
+  GuardVerdict v;
+  for (std::uint32_t i = 0; i < quick_cfg().safe_mode_failures; ++i) {
+    g.note_switch_applied();
+    v = g.on_quantum(malignant_switch(anomaly()));
+  }
+  EXPECT_EQ(g.state(), GuardState::kSafeMode);
+  EXPECT_TRUE(v.pin_safe_policy);
+  EXPECT_FALSE(v.revert);  // the pin supersedes the revert
+  EXPECT_FALSE(v.allow_switching);
+  EXPECT_EQ(g.stats().safe_mode_entries, 1u);
+}
+
+TEST(Guard, SafeModeExpiresIntoCooldownThenRearms) {
+  GuardConfig cfg = quick_cfg();
+  DegradationGuard g(cfg);
+  trip_safe_mode(g);
+
+  // Pinned for the remainder of the safe-mode window.
+  GuardVerdict v;
+  for (std::uint32_t i = 0; i < cfg.safe_mode_quanta; ++i) {
+    EXPECT_EQ(g.state(), GuardState::kSafeMode);
+    v = g.on_quantum(clean());
+    EXPECT_TRUE(v.pin_safe_policy);
+  }
+  EXPECT_EQ(g.state(), GuardState::kCooldown);
+
+  // Clean cool-down quanta release the pin, then re-arm.
+  for (std::uint32_t i = 0; i < cfg.cooldown_quanta; ++i) {
+    EXPECT_EQ(g.state(), GuardState::kCooldown);
+    v = g.on_quantum(clean());
+    EXPECT_FALSE(v.pin_safe_policy);
+  }
+  EXPECT_EQ(g.state(), GuardState::kArmed);
+}
+
+TEST(Guard, CooldownIsOneStrike) {
+  DegradationGuard g(quick_cfg());
+  trip_safe_mode(g);
+  for (std::uint32_t i = 0; i < quick_cfg().safe_mode_quanta; ++i) {
+    (void)g.on_quantum(clean());
+  }
+  ASSERT_EQ(g.state(), GuardState::kCooldown);
+
+  // A single lost Policy_Switch write sends it straight back.
+  GuardObservation obs = clean();
+  obs.switch_write_lost = true;
+  const GuardVerdict v = g.on_quantum(obs);
+  EXPECT_EQ(g.state(), GuardState::kSafeMode);
+  EXPECT_TRUE(v.pin_safe_policy);
+  EXPECT_EQ(g.stats().safe_mode_entries, 2u);
+}
+
+TEST(Guard, HysteresisHoldsSwitchesWhileSuspicious) {
+  GuardConfig cfg = quick_cfg();
+  DegradationGuard g(cfg);
+  (void)g.on_quantum(anomaly());
+  g.note_switch_applied();
+
+  // Within the dwell window: vetoed.
+  for (std::uint32_t i = 0; i + 1 < cfg.dwell_quanta; ++i) {
+    const GuardVerdict v = g.on_quantum(anomaly());
+    EXPECT_FALSE(v.allow_switching) << "quantum " << i;
+  }
+  // Dwell satisfied: allowed again (still suspicious).
+  const GuardVerdict v = g.on_quantum(anomaly());
+  EXPECT_TRUE(v.allow_switching);
+}
+
+TEST(Guard, NoHysteresisWithoutSuspicion) {
+  DegradationGuard g(quick_cfg());
+  g.note_switch_applied();
+  const GuardVerdict v = g.on_quantum(clean());
+  EXPECT_TRUE(v.allow_switching);
+}
+
+TEST(Guard, DtStarvationRaisesSuspicionAndCountsAsFailure) {
+  DegradationGuard g(quick_cfg());
+  GuardObservation obs = clean();
+  obs.dt_starved = true;
+  (void)g.on_quantum(obs);
+  EXPECT_TRUE(g.suspicious());
+  EXPECT_EQ(g.stats().dt_starvations, 1u);
+  EXPECT_EQ(g.consecutive_failures(), 1u);
+}
+
+TEST(Guard, PersistentStarvationTripsSafeMode) {
+  // A DT that keeps losing its scheduling slot cannot supervise the
+  // heuristic; the guard parks the machine on the safe static policy.
+  DegradationGuard g(quick_cfg());
+  GuardObservation obs = clean();
+  obs.dt_starved = true;
+  GuardVerdict v;
+  for (std::uint32_t i = 0; i < quick_cfg().safe_mode_failures; ++i) {
+    v = g.on_quantum(obs);
+  }
+  EXPECT_EQ(g.state(), GuardState::kSafeMode);
+  EXPECT_TRUE(v.pin_safe_policy);
+}
+
+// --- full-simulation regression --------------------------------------------
+
+sim::SimConfig adts_cfg(const workload::Mix& mix) {
+  sim::SimConfig cfg = sim::make_config(mix, 8, 2003);
+  cfg.use_adts = true;
+  cfg.adts.quantum_cycles = 1024;
+  cfg.adts.ipc_threshold = 2.0;
+  return cfg;
+}
+
+TEST(GuardRegression, FaultFreeGuardedRunIsBitIdenticalOnEveryMix) {
+  for (const auto& mix : workload::all_mixes()) {
+    sim::SimConfig plain = adts_cfg(mix);
+    sim::SimConfig guarded = plain;
+    guarded.adts.guard.enabled = true;
+
+    sim::Simulator a(plain);
+    sim::Simulator b(guarded);
+    a.run(16 * 1024);
+    b.run(16 * 1024);
+
+    EXPECT_EQ(a.committed(), b.committed()) << mix.name;
+    EXPECT_EQ(a.pipeline().policy(), b.pipeline().policy()) << mix.name;
+    EXPECT_EQ(a.detector().stats().switches, b.detector().stats().switches)
+        << mix.name;
+    EXPECT_EQ(a.detector().stats().benign_switches,
+              b.detector().stats().benign_switches)
+        << mix.name;
+
+    // The guard watched every quantum but never found cause to act.
+    const GuardStats& gs = b.detector().guard().stats();
+    EXPECT_EQ(gs.quanta, b.detector().stats().quanta) << mix.name;
+    EXPECT_EQ(gs.anomalies, 0u) << mix.name;
+    EXPECT_EQ(gs.reverts, 0u) << mix.name;
+    EXPECT_EQ(gs.vetoed_switches, 0u) << mix.name;
+    EXPECT_EQ(gs.safe_mode_entries, 0u) << mix.name;
+  }
+}
+
+TEST(GuardRegression, GuardDetectsInjectedCounterCorruption) {
+  sim::SimConfig cfg = adts_cfg(workload::mix("mem8"));
+  cfg.adts.guard.enabled = true;
+  cfg.fault.enabled = true;
+  cfg.fault.counter_corrupt_prob = 0.5;
+  sim::Simulator sim(cfg);
+  sim.run(16 * 1024);
+  EXPECT_GT(sim.detector().guard().stats().anomalies, 0u);
+}
+
+TEST(GuardRegression, LostSwitchWritesAreSeenByTheGuard) {
+  sim::SimConfig cfg = adts_cfg(workload::mix("mem8"));
+  cfg.adts.ipc_threshold = 100.0;  // force a decision every quantum
+  cfg.adts.guard.enabled = true;
+  cfg.fault.enabled = true;
+  cfg.fault.switch_drop_prob = 1.0;
+  sim::Simulator sim(cfg);
+  sim.run(32 * 1024);
+  EXPECT_GT(sim.detector().stats().switches_dropped_fault, 0u);
+  EXPECT_GT(sim.detector().guard().stats().lost_switch_writes, 0u);
+  EXPECT_EQ(sim.detector().stats().switches, 0u);  // every write lost
+}
+
+TEST(GuardRegression, StaleInFlightDecisionsAreDroppedOnResume) {
+  sim::SimConfig cfg = adts_cfg(workload::mix("mem8"));
+  cfg.adts.ipc_threshold = 100.0;  // force a decision every quantum
+  cfg.adts.guard.enabled = true;
+  // Keep the guard out of SAFE_MODE (whose pin also clears pending
+  // decisions) so the resume-time cancel path is what gets exercised.
+  cfg.adts.guard.safe_mode_failures = 1000;
+  cfg.fault.enabled = true;
+  cfg.fault.dt_stall_prob = 0.5;
+  cfg.fault.dt_stall_quanta = 2;
+  // Delay holds decisions in flight long enough to meet a stall window.
+  cfg.fault.switch_delay_prob = 0.8;
+  cfg.fault.switch_delay_quanta = 2;
+  sim::Simulator sim(cfg);
+  sim.run(64 * 1024);
+  const GuardStats& gs = sim.detector().guard().stats();
+  EXPECT_GT(gs.dt_starvations, 0u);
+  EXPECT_GT(gs.stale_decisions_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace smt::core
