@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Observability CI gate.
+#
+# 1. Runs a short faulted ADTS mix with --trace and validates the JSONL
+#    event stream against the schema (required keys, known event kinds,
+#    stall-cause buckets).
+# 2. Validates the --stats-json document parses and carries the stall
+#    conservation law (per-thread causes + machine bucket + DT slots ==
+#    idle fetch slots).
+# 3. Asserts the zero-perturbation contract: the --csv result of a traced
+#    run is byte-identical to the same run untraced.
+#
+# Usage: scripts/check_observability.sh [smtsim-binary]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+smtsim="${1:-${BUILD_DIR:-$repo/build}/src/smtsim}"
+if [ ! -x "$smtsim" ]; then
+  echo "check_observability: $smtsim not built" >&2
+  exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run=(--mix mem8 --adts --guard --fault-corrupt 0.3 --fault-dt-stall 0.2
+     --fault-blackout 0.2 --cycles 32768 --warmup 8192 --quantum 1024 --csv)
+
+echo "== traced run"
+"$smtsim" "${run[@]}" --trace "$tmp/trace.jsonl" --trace-format jsonl \
+  --stats-json "$tmp/stats.json" > "$tmp/traced.csv"
+echo "== untraced run"
+"$smtsim" "${run[@]}" > "$tmp/untraced.csv"
+
+echo "== traced vs untraced --csv bit-identical"
+cmp "$tmp/traced.csv" "$tmp/untraced.csv"
+
+echo "== chrome backend accepted"
+"$smtsim" "${run[@]}" --trace "$tmp/trace.chrome" --trace-format chrome \
+  >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$tmp/trace.jsonl" "$tmp/stats.json" "$tmp/trace.chrome" <<'EOF'
+import json
+import sys
+
+jsonl, stats_path, chrome = sys.argv[1:4]
+
+KINDS = {"quantum", "thread_quantum", "policy_switch", "guard_action",
+         "fault", "dt_stall_begin", "dt_stall_end"}
+KEYS = {"event", "quantum", "cycle", "tid", "span", "policy_before",
+        "policy_after", "code", "mask", "value", "ipc", "fetch_share",
+        "mispredict_rate", "l1d_miss_rate", "l1i_miss_rate", "stalls"}
+CAUSES = {"policy_throttle", "icache_miss", "rob_full",
+          "dispatch_backpressure", "squash_recovery", "fetch_blackout",
+          "fragmentation"}
+
+n = 0
+with open(jsonl) as f:
+    for line in f:
+        e = json.loads(line)
+        assert set(e) == KEYS, f"line {n + 1}: keys {set(e) ^ KEYS}"
+        assert e["event"] in KINDS, f"line {n + 1}: kind {e['event']}"
+        assert set(e["stalls"]) == CAUSES, f"line {n + 1}: stall causes"
+        n += 1
+assert n > 0, "empty trace"
+print(f"== trace.jsonl: {n} events, schema OK")
+
+stats = json.load(open(stats_path))
+threads = stats["threads"]
+charged = sum(t["stall_slots"] for t in threads.values() if "stall_slots" in t)
+charged += sum(stats["machine"]["stalls"].values())
+assert charged == stats["machine"]["charged_stall_slots"], "stall sum"
+assert charged + stats["machine"]["dt_slots_used"] == \
+    stats["machine"]["fetch_slots_idle"], "conservation"
+print("== stats.json: stall conservation OK")
+
+doc = json.load(open(chrome))
+assert doc["traceEvents"], "empty chrome trace"
+assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "C", "i"}
+print(f"== trace.chrome: {len(doc['traceEvents'])} trace events OK")
+EOF
+else
+  echo "== python3 unavailable: JSONL/JSON schema validation skipped"
+fi
+
+echo "check_observability: OK"

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Run the ADTS benchmark suite and emit machine-readable results.
+#
+# Runs the two headline paper-figure benches (Fig. 8 threshold/heuristic
+# grid, Fig. 7 switching behaviour) for the human-readable tables, then
+# sweeps every built-in mix through smtsim --stats-json (fixed ICOUNT and
+# ADTS) and assembles the per-mix metric documents into one
+# BENCH_adts.json.
+#
+# Usage: scripts/run_bench_suite.sh [output.json]
+#   BUILD_DIR     build tree (default: build)
+#   BENCH_CYCLES  measured cycles per run (default: 65536)
+#   BENCH_WARMUP  warm-up cycles per run (default: 8192)
+#   SMT_BENCH_SCALE=quick|full  forwarded to the bench binaries
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+out="${1:-$repo/BENCH_adts.json}"
+cycles="${BENCH_CYCLES:-65536}"
+warmup="${BENCH_WARMUP:-8192}"
+smtsim="$build/src/smtsim"
+
+if [ ! -x "$smtsim" ]; then
+  echo "== building ($build)"
+  cmake -B "$build" -S "$repo" >/dev/null
+  cmake --build "$build" -j "$(nproc)" >/dev/null
+fi
+
+export SMT_BENCH_SCALE="${SMT_BENCH_SCALE:-quick}"
+for bench in bench_fig8_ipc bench_fig7_switching; do
+  echo "== $bench (SMT_BENCH_SCALE=$SMT_BENCH_SCALE)"
+  "$build/bench/$bench"
+done
+
+echo "== per-mix --stats-json sweep ($cycles cycles + $warmup warm-up)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+mixes="$("$smtsim" --list | sed -n 's/^  \([a-z0-9]*\) —.*/\1/p')"
+for mix in $mixes; do
+  "$smtsim" --mix "$mix" --cycles "$cycles" --warmup "$warmup" \
+    --stats-json "$tmp/$mix.fixed.json" >/dev/null
+  "$smtsim" --mix "$mix" --adts --cycles "$cycles" --warmup "$warmup" \
+    --stats-json "$tmp/$mix.adts.json" >/dev/null
+  echo "   $mix"
+done
+
+{
+  printf '{\n"suite": "adts",\n"cycles": %s,\n"warmup": %s,\n"mixes": {\n' \
+    "$cycles" "$warmup"
+  first=1
+  for mix in $mixes; do
+    [ $first -eq 1 ] || printf ',\n'
+    first=0
+    printf '"%s": {\n"fixed": ' "$mix"
+    cat "$tmp/$mix.fixed.json"
+    printf ',\n"adts": '
+    cat "$tmp/$mix.adts.json"
+    printf '}'
+  done
+  printf '\n}\n}\n'
+} > "$out"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
+  echo "== $out valid JSON"
+else
+  echo "== $out written (python3 unavailable; skipped validation)"
+fi

@@ -49,11 +49,14 @@ class RunningStat {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
   [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Extrema of an empty accumulator are NaN, not 0.0: a fake zero would
+  /// be indistinguishable from a real observed 0.0 in exported metrics
+  /// (obs::MetricsRegistry serializes NaN as JSON null).
   [[nodiscard]] double min() const noexcept {
-    return n_ ? min_ : 0.0;
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
   }
   [[nodiscard]] double max() const noexcept {
-    return n_ ? max_ : 0.0;
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
   }
 
  private:

@@ -322,4 +322,26 @@ void DetectorThread::identify_clogging_threads(pipeline::Pipeline& pipe,
   }
 }
 
+void DetectorThread::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.set("adts.quanta", stats_.quanta);
+  reg.set("adts.low_throughput_quanta", stats_.low_throughput_quanta);
+  reg.set("adts.switches", stats_.switches);
+  reg.set("adts.benign_switches", stats_.benign_switches);
+  reg.set("adts.malignant_switches", stats_.malignant_switches);
+  reg.set("adts.benign_fraction", stats_.benign_fraction());
+  reg.set("adts.switches_skipped_dt_busy", stats_.switches_skipped_dt_busy);
+  reg.set("adts.switches_reversed", stats_.switches_reversed);
+  reg.set("adts.switches_dropped_fault", stats_.switches_dropped_fault);
+  reg.set("adts.switches_stale", stats_.switches_stale);
+  reg.set("adts.clog_flags", stats_.clog_flags);
+  reg.set("adts.heuristic", name(cfg_.heuristic));
+  reg.set("adts.ipc_threshold", cfg_.ipc_threshold);
+  for (int p = 0; p < policy::kNumFetchPolicies; ++p) {
+    reg.set("adts.quanta_per_policy." +
+                std::string(policy::name(static_cast<policy::FetchPolicy>(p))),
+            stats_.quanta_per_policy[static_cast<std::size_t>(p)]);
+  }
+  if (cfg_.guard.enabled) guard_.export_metrics(reg);
+}
+
 }  // namespace smt::core

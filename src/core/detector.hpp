@@ -154,6 +154,10 @@ class DetectorThread {
   }
   void clear_clog_marks() { clog_marks_.clear(); }
 
+  /// Export ADTS statistics (and the guard's, when enabled) into `reg`
+  /// under "adts." / "guard." (--stats-json).
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
  private:
   void on_quantum_boundary(pipeline::Pipeline& pipe,
                            fault::FaultInjector* faults);

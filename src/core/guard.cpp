@@ -116,4 +116,20 @@ void DegradationGuard::note_switch_applied() {
   last_switch_quantum_ = quantum_;
 }
 
+void DegradationGuard::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.set("guard.state", name(state_));
+  reg.set("guard.quanta", stats_.quanta);
+  reg.set("guard.anomalies", stats_.anomalies);
+  reg.set("guard.suspicious_quanta", stats_.suspicious_quanta);
+  reg.set("guard.reverts", stats_.reverts);
+  reg.set("guard.vetoed_switches", stats_.vetoed_switches);
+  reg.set("guard.stale_switches", stats_.stale_switches);
+  reg.set("guard.lost_switch_writes", stats_.lost_switch_writes);
+  reg.set("guard.dt_starvations", stats_.dt_starvations);
+  reg.set("guard.stale_decisions_dropped", stats_.stale_decisions_dropped);
+  reg.set("guard.clog_blocks_suppressed", stats_.clog_blocks_suppressed);
+  reg.set("guard.safe_mode_entries", stats_.safe_mode_entries);
+  reg.set("guard.safe_mode_quanta", stats_.safe_mode_quanta);
+}
+
 }  // namespace smt::core

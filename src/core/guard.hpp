@@ -45,6 +45,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "policy/fetch_policy.hpp"
 
 namespace smt::core {
@@ -176,6 +177,9 @@ class DegradationGuard {
   [[nodiscard]] std::uint32_t consecutive_failures() const noexcept {
     return consecutive_failures_;
   }
+
+  /// Export guard statistics into `reg` under "guard." (--stats-json).
+  void export_metrics(obs::MetricsRegistry& reg) const;
 
  private:
   void raise_suspicion();

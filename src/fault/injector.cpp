@@ -84,4 +84,17 @@ std::uint8_t FaultInjector::current_mask() const noexcept {
   return enabled() ? current_.mask() : std::uint8_t{kFaultNone};
 }
 
+void FaultInjector::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.set("fault.enabled", enabled());
+  reg.set("fault.quanta", stats_.quanta);
+  reg.set("fault.noisy_counter_reads", stats_.noisy_counter_reads);
+  reg.set("fault.frozen_counter_reads", stats_.frozen_counter_reads);
+  reg.set("fault.corrupt_counter_reads", stats_.corrupt_counter_reads);
+  reg.set("fault.dt_stall_windows", stats_.dt_stall_windows);
+  reg.set("fault.dt_stalled_quanta", stats_.dt_stalled_quanta);
+  reg.set("fault.switches_dropped", stats_.switches_dropped);
+  reg.set("fault.switches_delayed", stats_.switches_delayed);
+  reg.set("fault.blackouts", stats_.blackouts);
+}
+
 }  // namespace smt::fault

@@ -73,6 +73,9 @@ class FaultInjector {
   /// (for the --fault-report trace).
   [[nodiscard]] std::uint8_t current_mask() const noexcept;
 
+  /// Export injection statistics into `reg` under "fault." (--stats-json).
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
  private:
   void on_quantum_boundary(pipeline::Pipeline& pipe);
 

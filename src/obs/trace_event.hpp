@@ -1,0 +1,98 @@
+// The one trace-event schema every backend serializes.
+//
+// TraceEvent is a flat, fixed-size POD so the TraceSink ring buffer never
+// allocates per event and a sink attached to a hot simulation costs one
+// struct copy per record. Kind-specific meaning of the generic fields:
+//
+//   kind            tid    fields used
+//   --------------  -----  ------------------------------------------------
+//   kQuantum        -1     span (cycles), value (committed), ipc,
+//                          policy_after (active policy), code (guard state),
+//                          mask (fault classes injected this quantum)
+//   kThreadQuantum  >= 0   span, value (committed), ipc, fetch_share,
+//                          mispredict_rate, l1d/l1i_miss_rate, stalls
+//   kPolicySwitch   -1     policy_before → policy_after,
+//                          code (HeuristicType that decided), ipc (IPC_last)
+//   kGuardAction    -1     code (GuardAct), policy_after (policy imposed by
+//                          a revert/pin; unused for kHold)
+//   kFault          -1     mask (fault::FaultClass bits starting now)
+//   kDtStallBegin   -1     —
+//   kDtStallEnd     -1     span (cycles the DT slot was stalled)
+//
+// Rates are per cycle over the event's span, matching the convention of
+// pipeline::QuantumRates; fetch_share is the fraction of *all* fetch
+// slots (fetch_width × span) the thread's fetched instructions consumed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/stall.hpp"
+
+namespace smt::obs {
+
+enum class EventKind : std::uint8_t {
+  kQuantum,        ///< machine-level quantum summary row
+  kThreadQuantum,  ///< per-thread quantum snapshot
+  kPolicySwitch,   ///< fetch policy changed (ADTS decision landed)
+  kGuardAction,    ///< degradation guard intervened
+  kFault,          ///< fault injector scheduled events for this quantum
+  kDtStallBegin,   ///< detector-thread stall window opened
+  kDtStallEnd,     ///< detector-thread stall window closed
+};
+
+[[nodiscard]] constexpr std::string_view name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kQuantum: return "quantum";
+    case EventKind::kThreadQuantum: return "thread_quantum";
+    case EventKind::kPolicySwitch: return "policy_switch";
+    case EventKind::kGuardAction: return "guard_action";
+    case EventKind::kFault: return "fault";
+    case EventKind::kDtStallBegin: return "dt_stall_begin";
+    case EventKind::kDtStallEnd: return "dt_stall_end";
+  }
+  return "unknown";
+}
+
+/// kGuardAction payload (TraceEvent::code).
+enum class GuardAct : std::uint8_t {
+  kHold = 1,     ///< guard withheld a switch the heuristic wanted
+  kRevert = 2,   ///< watchdog undid a malignant switch
+  kPinSafe = 3,  ///< safe-mode entry / dwell pinned the safe policy
+};
+
+[[nodiscard]] constexpr std::string_view name(GuardAct a) noexcept {
+  switch (a) {
+    case GuardAct::kHold: return "hold";
+    case GuardAct::kRevert: return "revert";
+    case GuardAct::kPinSafe: return "pin_safe";
+  }
+  return "unknown";
+}
+
+struct TraceEvent {
+  EventKind kind = EventKind::kQuantum;
+  std::uint64_t cycle = 0;    ///< cycle the event was recorded
+  std::uint64_t quantum = 0;  ///< scheduling-quantum index (cycle / quantum)
+  std::int32_t tid = -1;      ///< thread scope; -1 = machine scope
+  std::uint64_t span = 0;     ///< cycles covered (quantum rows, stall windows)
+  std::uint8_t policy_before = 0;  ///< policy::FetchPolicy code
+  std::uint8_t policy_after = 0;   ///< policy::FetchPolicy code
+  std::uint8_t code = 0;  ///< kind-specific: heuristic / guard state / action
+  std::uint8_t mask = 0;  ///< fault::FaultClass bitmask
+  std::uint64_t value = 0;          ///< kind-specific count (committed, ...)
+  double ipc = 0.0;
+  double fetch_share = 0.0;
+  double mispredict_rate = 0.0;
+  double l1d_miss_rate = 0.0;
+  double l1i_miss_rate = 0.0;
+  /// Lost fetch slots charged over the span, by cause (kThreadQuantum:
+  /// the thread's buckets; kQuantum: the machine fragmentation bucket in
+  /// kFragmentation plus DT-consumed slots in `value2`-less form — the
+  /// machine row carries only fragmentation, per-thread causes live on
+  /// the thread rows).
+  std::array<std::uint64_t, kNumStallCauses> stalls{};
+};
+
+}  // namespace smt::obs

@@ -1,0 +1,288 @@
+#include "obs/trace_sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace smt::obs {
+
+namespace {
+
+/// Deterministic shortest-ish double rendering (%.9g): stable across runs
+/// of the same binary, compact, and precise enough for 9-digit rates.
+void put_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << (std::isnan(v) ? "null" : (v > 0 ? "1e308" : "-1e308"));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+void put_code(std::ostream& os, std::string_view (*namer)(std::uint8_t),
+              std::uint8_t code) {
+  if (namer != nullptr) {
+    os << namer(code);
+  } else {
+    os << static_cast<unsigned>(code);
+  }
+}
+
+void put_mask(std::ostream& os, const TraceDecoder& dec, std::uint8_t mask) {
+  if (dec.fault_mask != nullptr) {
+    os << dec.fault_mask(mask);
+  } else {
+    os << static_cast<unsigned>(mask);
+  }
+}
+
+/// The column whose decoding depends on the event kind.
+void put_kind_code(std::ostream& os, const TraceDecoder& dec,
+                   const TraceEvent& e) {
+  switch (e.kind) {
+    case EventKind::kQuantum:
+      put_code(os, dec.guard_state, e.code);
+      break;
+    case EventKind::kPolicySwitch:
+      put_code(os, dec.heuristic, e.code);
+      break;
+    case EventKind::kGuardAction:
+      os << name(static_cast<GuardAct>(e.code));
+      break;
+    default:
+      os << static_cast<unsigned>(e.code);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view name(TraceFormat f) noexcept {
+  switch (f) {
+    case TraceFormat::kCsv: return "csv";
+    case TraceFormat::kJsonl: return "jsonl";
+    case TraceFormat::kChrome: return "chrome";
+  }
+  return "unknown";
+}
+
+std::optional<TraceFormat> parse_trace_format(std::string_view s) noexcept {
+  if (s == "csv") return TraceFormat::kCsv;
+  if (s == "jsonl") return TraceFormat::kJsonl;
+  if (s == "chrome") return TraceFormat::kChrome;
+  return std::nullopt;
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  events_.reserve(capacity_);
+}
+
+void TraceSink::record(const TraceEvent& e) {
+  if (events_.size() < capacity_) {
+    events_.push_back(e);
+    return;
+  }
+  // Ring is full: overwrite the oldest slot.
+  events_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  if (!wrapped_) return events_;
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  events_.clear();
+  head_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+void TraceSink::write(std::ostream& os, TraceFormat format,
+                      const TraceDecoder& dec) const {
+  const std::vector<TraceEvent> evs = snapshot();
+  switch (format) {
+    case TraceFormat::kCsv: write_csv(os, evs, dec); break;
+    case TraceFormat::kJsonl: write_jsonl(os, evs, dec); break;
+    case TraceFormat::kChrome: write_chrome(os, evs, dec); break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CSV backend — one flat schema for every event kind.
+// ---------------------------------------------------------------------------
+void TraceSink::write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
+                          const TraceDecoder& dec) {
+  os << "event,quantum,cycle,tid,span,policy_before,policy_after,code,"
+        "faults,value,ipc,fetch_share,mispredict_rate,l1d_miss_rate,"
+        "l1i_miss_rate";
+  for (std::size_t c = 0; c < kNumStallCauses; ++c) {
+    os << ",stall_" << name(static_cast<StallCause>(c));
+  }
+  os << '\n';
+  for (const TraceEvent& e : evs) {
+    os << name(e.kind) << ',' << e.quantum << ',' << e.cycle << ',' << e.tid
+       << ',' << e.span << ',';
+    put_code(os, dec.policy, e.policy_before);
+    os << ',';
+    put_code(os, dec.policy, e.policy_after);
+    os << ',';
+    put_kind_code(os, dec, e);
+    os << ',';
+    put_mask(os, dec, e.mask);
+    os << ',' << e.value << ',';
+    put_double(os, e.ipc);
+    os << ',';
+    put_double(os, e.fetch_share);
+    os << ',';
+    put_double(os, e.mispredict_rate);
+    os << ',';
+    put_double(os, e.l1d_miss_rate);
+    os << ',';
+    put_double(os, e.l1i_miss_rate);
+    for (const std::uint64_t s : e.stalls) os << ',' << s;
+    os << '\n';
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL backend — one self-describing object per line, numeric codes,
+// fixed key set (scripts/check_observability.sh validates this schema).
+// ---------------------------------------------------------------------------
+void TraceSink::write_jsonl(std::ostream& os,
+                            const std::vector<TraceEvent>& evs,
+                            const TraceDecoder& /*dec*/) {
+  for (const TraceEvent& e : evs) {
+    os << "{\"event\":\"" << name(e.kind) << "\",\"quantum\":" << e.quantum
+       << ",\"cycle\":" << e.cycle << ",\"tid\":" << e.tid
+       << ",\"span\":" << e.span
+       << ",\"policy_before\":" << static_cast<unsigned>(e.policy_before)
+       << ",\"policy_after\":" << static_cast<unsigned>(e.policy_after)
+       << ",\"code\":" << static_cast<unsigned>(e.code)
+       << ",\"mask\":" << static_cast<unsigned>(e.mask)
+       << ",\"value\":" << e.value << ",\"ipc\":";
+    put_double(os, e.ipc);
+    os << ",\"fetch_share\":";
+    put_double(os, e.fetch_share);
+    os << ",\"mispredict_rate\":";
+    put_double(os, e.mispredict_rate);
+    os << ",\"l1d_miss_rate\":";
+    put_double(os, e.l1d_miss_rate);
+    os << ",\"l1i_miss_rate\":";
+    put_double(os, e.l1i_miss_rate);
+    os << ",\"stalls\":{";
+    for (std::size_t c = 0; c < kNumStallCauses; ++c) {
+      if (c > 0) os << ',';
+      os << '"' << name(static_cast<StallCause>(c)) << "\":" << e.stalls[c];
+    }
+    os << "}}\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event backend — loads in Perfetto / chrome://tracing.
+// Timestamps are cycles reported as microseconds (1 cycle = 1 µs), so a
+// quantum shows as an 8.192 ms block; "dur" spans are exact.
+// ---------------------------------------------------------------------------
+void TraceSink::write_chrome(std::ostream& os,
+                             const std::vector<TraceEvent>& evs,
+                             const TraceDecoder& dec) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto next = [&os, &first]() {
+    if (!first) os << ',';
+    first = false;
+    os << "\n";
+  };
+  for (const TraceEvent& e : evs) {
+    switch (e.kind) {
+      case EventKind::kQuantum: {
+        next();
+        const std::uint64_t start = e.cycle >= e.span ? e.cycle - e.span : 0;
+        os << "{\"name\":\"";
+        put_code(os, dec.policy, e.policy_after);
+        os << "\",\"cat\":\"policy\",\"ph\":\"X\",\"ts\":" << start
+           << ",\"dur\":" << e.span
+           << ",\"pid\":0,\"tid\":0,\"args\":{\"ipc\":";
+        put_double(os, e.ipc);
+        os << ",\"committed\":" << e.value << ",\"quantum\":" << e.quantum
+           << "}}";
+        next();
+        os << "{\"name\":\"machine ipc\",\"ph\":\"C\",\"ts\":" << e.cycle
+           << ",\"pid\":0,\"tid\":0,\"args\":{\"ipc\":";
+        put_double(os, e.ipc);
+        os << "}}";
+        break;
+      }
+      case EventKind::kThreadQuantum: {
+        next();
+        os << "{\"name\":\"thread " << e.tid
+           << " ipc\",\"ph\":\"C\",\"ts\":" << e.cycle
+           << ",\"pid\":0,\"tid\":0,\"args\":{\"ipc\":";
+        put_double(os, e.ipc);
+        os << "}}";
+        next();
+        os << "{\"name\":\"thread " << e.tid
+           << " stalls\",\"ph\":\"C\",\"ts\":" << e.cycle
+           << ",\"pid\":0,\"tid\":0,\"args\":{";
+        for (std::size_t c = 0; c < kNumStallCauses; ++c) {
+          if (c > 0) os << ',';
+          os << '"' << name(static_cast<StallCause>(c))
+             << "\":" << e.stalls[c];
+        }
+        os << "}}";
+        break;
+      }
+      case EventKind::kPolicySwitch: {
+        next();
+        os << "{\"name\":\"switch ";
+        put_code(os, dec.policy, e.policy_before);
+        os << " -> ";
+        put_code(os, dec.policy, e.policy_after);
+        os << "\",\"cat\":\"adts\",\"ph\":\"i\",\"ts\":" << e.cycle
+           << ",\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{\"heuristic\":\"";
+        put_code(os, dec.heuristic, e.code);
+        os << "\",\"ipc_last\":";
+        put_double(os, e.ipc);
+        os << "}}";
+        break;
+      }
+      case EventKind::kGuardAction: {
+        next();
+        os << "{\"name\":\"guard " << name(static_cast<GuardAct>(e.code))
+           << "\",\"cat\":\"guard\",\"ph\":\"i\",\"ts\":" << e.cycle
+           << ",\"pid\":0,\"tid\":0,\"s\":\"g\"}";
+        break;
+      }
+      case EventKind::kFault: {
+        next();
+        os << "{\"name\":\"fault ";
+        put_mask(os, dec, e.mask);
+        os << "\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":" << e.cycle
+           << ",\"pid\":0,\"tid\":0,\"s\":\"g\"}";
+        break;
+      }
+      case EventKind::kDtStallBegin:
+      case EventKind::kDtStallEnd: {
+        next();
+        os << "{\"name\":\"" << name(e.kind)
+           << "\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":" << e.cycle
+           << ",\"pid\":0,\"tid\":0,\"s\":\"g\"}";
+        break;
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace smt::obs

@@ -36,6 +36,7 @@ struct ThreadCounters {
   // ---- lifetime accumulators ------------------------------------------
   std::uint64_t committed_total = 0;
   std::uint64_t cycles_seen = 0;  ///< cycles this thread has been resident
+  std::uint64_t fetched_total = 0;  ///< fetch slots this thread consumed
 
   // ---- quantum accumulators (reset each scheduling quantum) -----------
   std::uint64_t committed_quantum = 0;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 namespace smt::pipeline {
 
@@ -382,14 +384,34 @@ void Pipeline::do_fetch() {
   };
   std::vector<Cand> cands;
   cands.reserve(n);
+  // Per-thread blocked-cause for this cycle: 0 = not blocked, else
+  // StallCause + 1. Lost slots are charged against these after the
+  // service loop runs.
+  std::array<std::uint8_t, 64> block_cause{};  // n <= 64
+  const auto blocked_by = [&block_cause](std::uint32_t tid,
+                                         obs::StallCause c) {
+    block_cause[tid] = static_cast<std::uint8_t>(c) + 1;
+  };
   for (std::uint32_t tid = 0; tid < n; ++tid) {
     Thread& t = threads_[tid];
-    if (t.fetch_stall_until > cycle_) continue;
-    if (t.fetch_block_until > cycle_) continue;
-    if (t.window.full()) continue;
+    if (t.fetch_stall_until > cycle_) {
+      blocked_by(tid, t.icache_stalled ? obs::StallCause::kIcacheMiss
+                                       : obs::StallCause::kSquashRecovery);
+      continue;
+    }
+    if (t.fetch_block_until > cycle_) {
+      blocked_by(tid, obs::StallCause::kFetchBlackout);
+      continue;
+    }
+    if (t.window.full()) {
+      blocked_by(tid, obs::StallCause::kRobFull);
+      continue;
+    }
     if (t.frontend_count >=
         static_cast<std::int32_t>(cfg_.fetch_buffer_cap)) {
-      continue;  // front-end buffer full: dispatch is backed up
+      // front-end buffer full: dispatch is backed up
+      blocked_by(tid, obs::StallCause::kDispatchBackpressure);
+      continue;
     }
     const double key =
         policy::priority_key(policy_, t.counters, tid, n, cycle_);
@@ -404,9 +426,11 @@ void Pipeline::do_fetch() {
   std::uint32_t slots = cfg_.fetch_width;
   std::uint32_t threads_used = 0;
   std::array<std::uint32_t, 64> fetched_per_thread{};  // n <= 64
+  std::array<bool, 64> serviced{};
 
   for (const Cand& cand : cands) {
     if (slots == 0 || threads_used >= cfg_.fetch_threads) break;
+    serviced[cand.tid] = true;
     Thread& t = threads_[cand.tid];
     ThreadCounters& c = t.counters;
 
@@ -428,6 +452,7 @@ void Pipeline::do_fetch() {
         t.icache_stalled = true;
         t.delivered_block = block;
         c.l1i_outstanding = 1;
+        blocked_by(cand.tid, obs::StallCause::kIcacheMiss);
         ++threads_used;  // the fetch port was spent on the miss
         continue;
       }
@@ -472,6 +497,7 @@ void Pipeline::do_fetch() {
         ++c.memcount;
       }
       ++stats_.fetched;
+      ++c.fetched_total;
       if (wrong) {
         ++stats_.fetched_wrong_path;
         ++c.wrong_path_fetched_quantum;
@@ -524,10 +550,42 @@ void Pipeline::do_fetch() {
 
   // Leftover slots: idle, unless the detector thread has queued work.
   stats_.fetch_slots_idle += slots;
+  std::uint64_t lost = slots;
   if (!dt_frozen_ && dt_work_ > 0 && slots > 0) {
     const std::uint64_t used = std::min<std::uint64_t>(slots, dt_work_);
     dt_work_ -= used;
     stats_.dt_slots_used += used;
+    lost -= used;
+  }
+
+  // Stall attribution: charge every slot the DT didn't absorb to exactly
+  // one cause. Candidates the service loop never reached were ready but
+  // out-ranked — the policy throttle working as designed.
+  if (lost > 0) {
+    for (const Cand& cand : cands) {
+      if (!serviced[cand.tid]) {
+        blocked_by(cand.tid, obs::StallCause::kPolicyThrottle);
+      }
+    }
+    // Round-robin the lost slots over blocked threads, rotating the start
+    // with the cycle so no thread is systematically favoured.
+    std::array<std::uint32_t, 64> blocked_tids;
+    std::uint32_t m = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t tid = static_cast<std::uint32_t>((cycle_ + i) % n);
+      if (block_cause[tid] != 0) blocked_tids[m++] = tid;
+    }
+    if (m == 0) {
+      // Nobody was blocked: fragmentation / taken-branch fetch-group ends
+      // left slack no thread could claim this cycle.
+      machine_stalls_.charge(obs::StallCause::kFragmentation, lost);
+    } else {
+      for (std::uint64_t k = 0; k < lost; ++k) {
+        const std::uint32_t tid = blocked_tids[k % m];
+        threads_[tid].stalls.charge(
+            static_cast<obs::StallCause>(block_cause[tid] - 1));
+      }
+    }
   }
 }
 
@@ -665,6 +723,8 @@ workload::ThreadProgram Pipeline::swap_program(std::uint32_t tid,
   t.icache_stalled = false;
   t.delivered_block = ~std::uint64_t{0};
   t.counters = ThreadCounters{};
+  ++t.life_epoch;     // lifetime accumulators restarted
+  ++t.quantum_epoch;  // quantum accumulators restarted too
   t.fetch_stall_until =
       std::max<std::uint64_t>(t.fetch_stall_until, cycle_ + penalty_cycles);
 
@@ -674,7 +734,16 @@ workload::ThreadProgram Pipeline::swap_program(std::uint32_t tid,
 }
 
 void Pipeline::reset_quantum_counters() {
-  for (Thread& t : threads_) t.counters.reset_quantum();
+  for (Thread& t : threads_) {
+    t.counters.reset_quantum();
+    ++t.quantum_epoch;
+  }
+}
+
+std::uint64_t Pipeline::charged_stall_slots() const noexcept {
+  std::uint64_t total = machine_stalls_.total();
+  for (const Thread& t : threads_) total += t.stalls.total();
+  return total;
 }
 
 // ---------------------------------------------------------------------------
@@ -730,6 +799,55 @@ bool Pipeline::check_counter_invariants() const {
     return false;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics export.
+// ---------------------------------------------------------------------------
+void export_metrics(const Pipeline& pipe, obs::MetricsRegistry& reg) {
+  const PipelineStats& s = pipe.stats();
+  reg.set("machine.cycles", s.cycles);
+  reg.set("machine.committed", s.committed);
+  reg.set("machine.ipc", s.ipc());
+  reg.set("machine.fetched", s.fetched);
+  reg.set("machine.fetched_wrong_path", s.fetched_wrong_path);
+  reg.set("machine.squashed", s.squashed);
+  reg.set("machine.branches_resolved", s.branches_resolved);
+  reg.set("machine.mispredicts", s.mispredicts);
+  reg.set("machine.btb_misses", s.btb_misses);
+  reg.set("machine.syscall_flushes", s.syscall_flushes);
+  reg.set("machine.fetch_slots_idle", s.fetch_slots_idle);
+  reg.set("machine.dt_slots_used", s.dt_slots_used);
+  reg.set("machine.charged_stall_slots", pipe.charged_stall_slots());
+
+  char key[96];
+  const obs::StallBreakdown& mb = pipe.machine_stall_breakdown();
+  for (std::size_t c = 0; c < obs::kNumStallCauses; ++c) {
+    std::snprintf(key, sizeof key, "machine.stalls.%s",
+                  std::string(name(static_cast<obs::StallCause>(c))).c_str());
+    reg.set(key, mb.slots[c]);
+  }
+
+  for (std::uint32_t tid = 0; tid < pipe.num_threads(); ++tid) {
+    const ThreadCounters& c = pipe.counters(tid);
+    std::snprintf(key, sizeof key, "threads.%u.committed", tid);
+    reg.set(key, c.committed_total);
+    std::snprintf(key, sizeof key, "threads.%u.cycles_seen", tid);
+    reg.set(key, c.cycles_seen);
+    std::snprintf(key, sizeof key, "threads.%u.fetched", tid);
+    reg.set(key, c.fetched_total);
+    std::snprintf(key, sizeof key, "threads.%u.ipc", tid);
+    reg.set(key, c.acc_ipc());
+    const obs::StallBreakdown& sb = pipe.stall_breakdown(tid);
+    std::snprintf(key, sizeof key, "threads.%u.stall_slots", tid);
+    reg.set(key, sb.total());
+    for (std::size_t cause = 0; cause < obs::kNumStallCauses; ++cause) {
+      std::snprintf(
+          key, sizeof key, "threads.%u.stalls.%s", tid,
+          std::string(name(static_cast<obs::StallCause>(cause))).c_str());
+      reg.set(key, sb.slots[cause]);
+    }
+  }
 }
 
 }  // namespace smt::pipeline

@@ -30,6 +30,8 @@
 #include "common/rng.hpp"
 #include "isa/instruction.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stall.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/counters.hpp"
 #include "policy/fetch_policy.hpp"
@@ -132,6 +134,39 @@ class Pipeline {
     return stats_.committed;
   }
 
+  // --- stall attribution (observability) --------------------------------
+  /// Per-thread lost-fetch-slot breakdown, accumulated since construction.
+  /// Every fetch slot that no thread used (and the DT did not absorb) is
+  /// charged to exactly one cause on exactly one thread — or, when no
+  /// thread was blocked (pure fetch fragmentation / fetch_threads limit
+  /// with nothing to blame), to the machine-level bucket below.
+  [[nodiscard]] const obs::StallBreakdown& stall_breakdown(
+      std::uint32_t tid) const {
+    return threads_[tid].stalls;
+  }
+  /// Lost slots not attributable to any specific thread.
+  [[nodiscard]] const obs::StallBreakdown& machine_stall_breakdown()
+      const noexcept {
+    return machine_stalls_;
+  }
+  /// Total charged stall slots across all threads plus the machine bucket.
+  /// Invariant: charged_stall_slots() + stats().dt_slots_used ==
+  /// stats().fetch_slots_idle.
+  [[nodiscard]] std::uint64_t charged_stall_slots() const noexcept;
+
+  // --- counter epochs (observability) ------------------------------------
+  /// Bumped whenever `tid`'s quantum accumulators are reset (quantum
+  /// boundary or context switch). Lets an external observer detect that
+  /// its delta baseline is stale without perturbing the counters itself.
+  [[nodiscard]] std::uint64_t quantum_epoch(std::uint32_t tid) const {
+    return threads_[tid].quantum_epoch;
+  }
+  /// Bumped whenever `tid`'s lifetime accumulators are reset (context
+  /// switch via swap_program).
+  [[nodiscard]] std::uint64_t life_epoch(std::uint32_t tid) const {
+    return threads_[tid].life_epoch;
+  }
+
   /// Reset every thread's quantum accumulators (detector thread does this
   /// at each quantum boundary).
   void reset_quantum_counters();
@@ -184,6 +219,11 @@ class Pipeline {
     /// also prevents livelock when contending threads evict the line
     /// before the stalled thread retries).
     std::uint64_t delivered_block = ~std::uint64_t{0};
+    /// Lost-fetch-slot attribution (pipeline lifetime; survives context
+    /// switches so slot conservation holds over the whole run).
+    obs::StallBreakdown stalls;
+    std::uint64_t quantum_epoch = 0;  ///< quantum-counter reset generation
+    std::uint64_t life_epoch = 0;     ///< lifetime-counter reset generation
   };
 
   // Stage implementations, called in reverse pipeline order each cycle.
@@ -248,6 +288,11 @@ class Pipeline {
   bool dt_frozen_ = false;
 
   PipelineStats stats_;
+  obs::StallBreakdown machine_stalls_;  ///< lost slots with no thread to blame
 };
+
+/// Export the pipeline's whole-run statistics and per-thread stall
+/// breakdowns into `reg` under "machine." / "threads.<tid>." prefixes.
+void export_metrics(const Pipeline& pipe, obs::MetricsRegistry& reg);
 
 }  // namespace smt::pipeline

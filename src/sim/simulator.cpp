@@ -1,11 +1,43 @@
 #include "sim/simulator.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "core/heuristics.hpp"
 #include "workload/app_profile.hpp"
 #include "workload/thread_program.hpp"
 
 namespace smt::sim {
+
+obs::TraceDecoder trace_decoder() noexcept {
+  obs::TraceDecoder d;
+  d.policy = [](std::uint8_t code) -> std::string_view {
+    return policy::name(static_cast<policy::FetchPolicy>(code));
+  };
+  d.heuristic = [](std::uint8_t code) -> std::string_view {
+    return core::name(static_cast<core::HeuristicType>(code));
+  };
+  d.guard_state = [](std::uint8_t code) -> std::string_view {
+    return core::name(static_cast<core::GuardState>(code));
+  };
+  d.fault_mask = [](std::uint8_t mask) -> std::string {
+    if (mask == 0) return "-";
+    std::string out;
+    const auto add = [&out](const char* s) {
+      if (!out.empty()) out += '|';
+      out += s;
+    };
+    if (mask & fault::kFaultCounterNoise) add("noise");
+    if (mask & fault::kFaultCounterFreeze) add("freeze");
+    if (mask & fault::kFaultCounterCorrupt) add("corrupt");
+    if (mask & fault::kFaultDtStall) add("dt-stall");
+    if (mask & fault::kFaultSwitchDrop) add("drop");
+    if (mask & fault::kFaultSwitchDelay) add("delay");
+    if (mask & fault::kFaultBlackout) add("blackout");
+    return out;
+  };
+  return d;
+}
 
 SimConfig make_config(const workload::Mix& mix, std::size_t threads,
                       std::uint64_t workload_seed) {
@@ -51,6 +83,56 @@ Simulator::Simulator(const SimConfig& cfg)
   pipe_.set_policy(cfg.fixed_policy);
 }
 
+Simulator::Simulator(const Simulator& other)
+    : cfg_(other.cfg_),
+      pipe_(other.pipe_),
+      detector_(other.detector_),
+      injector_(other.injector_),
+      use_adts_(other.use_adts_) {
+  // sink_ and the snapshot baselines stay default: a copy is silent (see
+  // the header; the oracle re-runs copies over already-recorded quanta).
+}
+
+Simulator& Simulator::operator=(const Simulator& other) {
+  if (this == &other) return *this;
+  cfg_ = other.cfg_;
+  pipe_ = other.pipe_;
+  detector_ = other.detector_;
+  injector_ = other.injector_;
+  use_adts_ = other.use_adts_;
+  sink_ = nullptr;
+  baselines_.clear();
+  return *this;
+}
+
+void Simulator::attach_trace(obs::TraceSink* sink) {
+  sink_ = sink;
+  if (sink_ == nullptr) return;
+  // Baseline every delta at the current state so the first snapshot spans
+  // only cycles recorded under this sink.
+  snapshot_cycle_ = pipe_.now();
+  snapshot_committed_ = pipe_.committed_total();
+  snapshot_frag_ = pipe_.machine_stall_breakdown()[
+      obs::StallCause::kFragmentation];
+  snapshot_dt_slots_ = pipe_.stats().dt_slots_used;
+  baselines_.assign(pipe_.num_threads(), ThreadBaseline{});
+  for (std::uint32_t tid = 0; tid < pipe_.num_threads(); ++tid) {
+    ThreadBaseline& b = baselines_[tid];
+    const pipeline::ThreadCounters& c = pipe_.counters(tid);
+    b.quantum_epoch = pipe_.quantum_epoch(tid);
+    b.life_epoch = pipe_.life_epoch(tid);
+    b.committed_quantum = c.committed_quantum;
+    b.cond_branches_quantum = c.cond_branches_quantum;
+    b.mispredicts_quantum = c.mispredicts_quantum;
+    b.l1d_misses_quantum = c.l1d_misses_quantum;
+    b.l1i_misses_quantum = c.l1i_misses_quantum;
+    b.fetched_total = c.fetched_total;
+    b.stalls = pipe_.stall_breakdown(tid);
+  }
+  dt_stalled_prev_ = injector_.dt_stalled();
+  dt_stall_begin_cycle_ = pipe_.now();
+}
+
 void Simulator::set_adts_active(bool active) {
   if (active && !use_adts_) {
     detector_.arm(pipe_);
@@ -61,6 +143,16 @@ void Simulator::set_adts_active(bool active) {
 
 void Simulator::step() {
   pipe_.step();
+
+  // Snapshot the quantum that just ended *before* the detector tick: the
+  // detector resets the quantum accumulators at the boundary, and the
+  // injector's boundary advance rotates its fault schedule to the next
+  // quantum. Reading first keeps the snapshot about the finished quantum.
+  const bool boundary =
+      sink_ != nullptr && pipe_.now() % cfg_.adts.quantum_cycles == 0;
+  if (boundary) record_quantum_snapshot();
+  const policy::FetchPolicy policy_before = pipe_.policy();
+
   // The injector runs before the detector so boundary-cycle faults
   // (fresh counter perturbations, stall windows, blackouts) are already
   // in place when the detector samples its counters.
@@ -68,25 +160,176 @@ void Simulator::step() {
   if (faulted) injector_.tick(pipe_);
   if (use_adts_) detector_.tick(pipe_, faulted ? &injector_ : nullptr);
 
-  if (cfg_.record_trace && pipe_.now() > 0 &&
-      pipe_.now() % cfg_.adts.quantum_cycles == 0) {
-    TraceRow row;
-    row.quantum = trace_.size() + 1;
-    row.cycle = pipe_.now();
-    row.policy = pipe_.policy();
-    row.ipc = detector_.last_quantum_ipc();
-    row.fault_mask = injector_.current_mask();
-    row.guard_state = detector_.guard().state();
+  if (sink_ == nullptr) return;
+  const std::uint64_t cycle = pipe_.now();
+  const std::uint64_t quantum = cycle / cfg_.adts.quantum_cycles;
+
+  // Policy switches can land on any cycle (they apply when the DT's work
+  // drains), so compare every step, not just at boundaries.
+  if (pipe_.policy() != policy_before) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kPolicySwitch;
+    e.cycle = cycle;
+    e.quantum = quantum;
+    e.policy_before = static_cast<std::uint8_t>(policy_before);
+    e.policy_after = static_cast<std::uint8_t>(pipe_.policy());
+    e.code = static_cast<std::uint8_t>(cfg_.adts.heuristic);
+    e.ipc = detector_.last_quantum_ipc();
+    sink_->record(e);
+  }
+
+  if (boundary && detector_.config().guard.enabled) {
     const core::GuardVerdict& v = detector_.last_guard_verdict();
-    row.guard_revert = v.revert;
-    row.guard_pin = v.pin_safe_policy;
-    row.guard_blocked = !v.allow_switching;
-    trace_.push_back(row);
+    obs::GuardAct act{};
+    policy::FetchPolicy imposed = pipe_.policy();
+    if (v.revert) {
+      act = obs::GuardAct::kRevert;
+      imposed = v.revert_to;
+    } else if (v.pin_safe_policy) {
+      act = obs::GuardAct::kPinSafe;
+      imposed = detector_.config().guard.safe_policy;
+    } else if (!v.allow_switching) {
+      act = obs::GuardAct::kHold;
+    }
+    if (act != obs::GuardAct{}) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kGuardAction;
+      e.cycle = cycle;
+      e.quantum = quantum;
+      e.code = static_cast<std::uint8_t>(act);
+      e.policy_after = static_cast<std::uint8_t>(imposed);
+      sink_->record(e);
+    }
+  }
+
+  if (boundary && faulted && injector_.current_mask() != 0) {
+    // After the injector's boundary advance current_mask() describes the
+    // quantum that starts now.
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kFault;
+    e.cycle = cycle;
+    e.quantum = quantum;
+    e.mask = injector_.current_mask();
+    sink_->record(e);
+  }
+
+  const bool dt_stalled = injector_.dt_stalled();
+  if (dt_stalled != dt_stalled_prev_) {
+    obs::TraceEvent e;
+    e.kind = dt_stalled ? obs::EventKind::kDtStallBegin
+                        : obs::EventKind::kDtStallEnd;
+    e.cycle = cycle;
+    e.quantum = quantum;
+    if (!dt_stalled) e.span = cycle - dt_stall_begin_cycle_;
+    else dt_stall_begin_cycle_ = cycle;
+    sink_->record(e);
+    dt_stalled_prev_ = dt_stalled;
+  }
+}
+
+void Simulator::record_quantum_snapshot() {
+  const std::uint64_t cycle = pipe_.now();
+  const std::uint64_t span = cycle - snapshot_cycle_;
+  if (span == 0) return;
+  const std::uint64_t quantum = cycle / cfg_.adts.quantum_cycles;
+  const double dspan = static_cast<double>(span);
+  const std::uint32_t n = pipe_.num_threads();
+
+  obs::TraceEvent mrow;
+  mrow.kind = obs::EventKind::kQuantum;
+  mrow.cycle = cycle;
+  mrow.quantum = quantum;
+  mrow.span = span;
+  mrow.value = pipe_.committed_total() - snapshot_committed_;
+  mrow.ipc = static_cast<double>(mrow.value) / dspan;
+  mrow.policy_after = static_cast<std::uint8_t>(pipe_.policy());
+  mrow.code = static_cast<std::uint8_t>(detector_.guard().state());
+  mrow.mask = injector_.enabled() ? injector_.current_mask() : 0;
+  const std::uint64_t frag =
+      pipe_.machine_stall_breakdown()[obs::StallCause::kFragmentation];
+  mrow.stalls[static_cast<std::size_t>(obs::StallCause::kFragmentation)] =
+      frag - snapshot_frag_;
+  sink_->record(mrow);
+  snapshot_cycle_ = cycle;
+  snapshot_committed_ = pipe_.committed_total();
+  snapshot_frag_ = frag;
+  snapshot_dt_slots_ = pipe_.stats().dt_slots_used;
+
+  if (baselines_.size() < n) baselines_.resize(n);
+  const double slot_budget =
+      dspan * static_cast<double>(pipe_.config().fetch_width);
+  for (std::uint32_t tid = 0; tid < n; ++tid) {
+    ThreadBaseline& b = baselines_[tid];
+    const pipeline::ThreadCounters& c = pipe_.counters(tid);
+    // A bumped epoch means the accumulator restarted from zero since the
+    // last snapshot; the stale baseline would underflow the delta.
+    if (pipe_.quantum_epoch(tid) != b.quantum_epoch) {
+      b.committed_quantum = 0;
+      b.cond_branches_quantum = 0;
+      b.mispredicts_quantum = 0;
+      b.l1d_misses_quantum = 0;
+      b.l1i_misses_quantum = 0;
+    }
+    if (pipe_.life_epoch(tid) != b.life_epoch) b.fetched_total = 0;
+
+    obs::TraceEvent t;
+    t.kind = obs::EventKind::kThreadQuantum;
+    t.cycle = cycle;
+    t.quantum = quantum;
+    t.tid = static_cast<std::int32_t>(tid);
+    t.span = span;
+    t.value = c.committed_quantum - b.committed_quantum;
+    t.ipc = static_cast<double>(t.value) / dspan;
+    t.fetch_share =
+        static_cast<double>(c.fetched_total - b.fetched_total) / slot_budget;
+    t.mispredict_rate =
+        static_cast<double>(c.mispredicts_quantum - b.mispredicts_quantum) /
+        dspan;
+    t.l1d_miss_rate =
+        static_cast<double>(c.l1d_misses_quantum - b.l1d_misses_quantum) /
+        dspan;
+    t.l1i_miss_rate =
+        static_cast<double>(c.l1i_misses_quantum - b.l1i_misses_quantum) /
+        dspan;
+    const obs::StallBreakdown& cur = pipe_.stall_breakdown(tid);
+    for (std::size_t k = 0; k < obs::kNumStallCauses; ++k) {
+      t.stalls[k] = cur.slots[k] - b.stalls.slots[k];
+    }
+    sink_->record(t);
+
+    b.quantum_epoch = pipe_.quantum_epoch(tid);
+    b.life_epoch = pipe_.life_epoch(tid);
+    b.committed_quantum = c.committed_quantum;
+    b.cond_branches_quantum = c.cond_branches_quantum;
+    b.mispredicts_quantum = c.mispredicts_quantum;
+    b.l1d_misses_quantum = c.l1d_misses_quantum;
+    b.l1i_misses_quantum = c.l1i_misses_quantum;
+    b.fetched_total = c.fetched_total;
+    b.stalls = cur;
   }
 }
 
 void Simulator::run(std::uint64_t cycles) {
   for (std::uint64_t i = 0; i < cycles; ++i) step();
+}
+
+void Simulator::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.set("config.mode", use_adts_ ? "adts" : "fixed");
+  reg.set("config.policy", policy::name(cfg_.fixed_policy));
+  reg.set("config.threads", static_cast<std::uint64_t>(cfg_.apps.size()));
+  reg.set("config.workload_seed", cfg_.workload_seed);
+  reg.set("config.quantum_cycles", cfg_.adts.quantum_cycles);
+  for (std::size_t tid = 0; tid < cfg_.apps.size(); ++tid) {
+    reg.set("threads." + std::to_string(tid) + ".app",
+            std::string_view(cfg_.apps[tid]));
+  }
+  pipeline::export_metrics(pipe_, reg);
+  if (use_adts_) detector_.export_metrics(reg);
+  if (injector_.enabled()) injector_.export_metrics(reg);
+  if (sink_ != nullptr) {
+    reg.set("trace.events", static_cast<std::uint64_t>(sink_->size()));
+    reg.set("trace.dropped", sink_->dropped());
+  }
 }
 
 }  // namespace smt::sim

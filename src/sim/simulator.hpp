@@ -7,12 +7,15 @@
 // and the quantum-rerun tests are built on this property.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/detector.hpp"
 #include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "pipeline/pipeline.hpp"
 #include "policy/fetch_policy.hpp"
 #include "workload/mix.hpp"
@@ -37,24 +40,12 @@ struct SimConfig {
   /// aligned to the ADTS quantum so counter faults hit whole detector
   /// observations.
   fault::FaultConfig fault{};
-
-  /// Record a per-quantum row of {policy, IPC, injected faults, guard
-  /// action} — the --fault-report trace. Off by default (it allocates).
-  bool record_trace = false;
 };
 
-/// One per-quantum row of the fault/guard trace.
-struct TraceRow {
-  std::uint64_t quantum = 0;
-  std::uint64_t cycle = 0;
-  policy::FetchPolicy policy = policy::FetchPolicy::kIcount;  ///< after boundary
-  double ipc = 0.0;                ///< IPC of the quantum that just ended
-  std::uint8_t fault_mask = 0;     ///< fault::FaultClass bits injected
-  core::GuardState guard_state = core::GuardState::kArmed;
-  bool guard_revert = false;
-  bool guard_pin = false;
-  bool guard_blocked = false;      ///< guard withheld switching this quantum
-};
+/// Enum-code → display-name callbacks for the trace writers, wired to the
+/// real policy / heuristic / guard-state / fault-mask names (the obs layer
+/// sits below policy and core, so it only stores codes).
+[[nodiscard]] obs::TraceDecoder trace_decoder() noexcept;
 
 /// Build a SimConfig for a named mix at a given thread count.
 [[nodiscard]] SimConfig make_config(const workload::Mix& mix,
@@ -65,9 +56,14 @@ class Simulator {
  public:
   explicit Simulator(const SimConfig& cfg);
 
-  Simulator(const Simulator&) = default;
+  // Copies drop the trace sink: the oracle re-runs copied simulators over
+  // quanta already recorded by the original, and a shared sink would
+  // record every such re-run as if it happened once. The copy keeps full
+  // microarchitectural state and stays silent; re-attach explicitly to
+  // trace it.
+  Simulator(const Simulator& other);
   Simulator(Simulator&&) = default;
-  Simulator& operator=(const Simulator&) = default;
+  Simulator& operator=(const Simulator& other);
   Simulator& operator=(Simulator&&) = default;
 
   void step();
@@ -84,10 +80,18 @@ class Simulator {
   [[nodiscard]] const fault::FaultInjector& faults() const noexcept {
     return injector_;
   }
-  /// Per-quantum fault/guard trace (empty unless cfg.record_trace).
-  [[nodiscard]] const std::vector<TraceRow>& trace() const noexcept {
-    return trace_;
-  }
+  /// Attach (or detach, with nullptr) a trace sink. The simulator records
+  /// per-quantum machine + thread snapshots and policy-switch / guard /
+  /// fault / DT-stall events into it. Observation-only: the simulated
+  /// machine is bit-identical with or without a sink attached. The sink
+  /// must outlive the simulator (or be detached first); it is NOT owned.
+  void attach_trace(obs::TraceSink* sink);
+  [[nodiscard]] obs::TraceSink* trace_sink() const noexcept { return sink_; }
+
+  /// Export end-of-run metrics from every subsystem (pipeline always;
+  /// detector/guard when ADTS is on; injector when faults are enabled)
+  /// plus the run configuration, into `reg` (--stats-json).
+  void export_metrics(obs::MetricsRegistry& reg) const;
 
   /// Suspend / resume the detector thread. Resuming re-baselines the
   /// detector (DetectorThread::arm) and resets quantum counters so the
@@ -104,12 +108,41 @@ class Simulator {
   [[nodiscard]] double ipc() const noexcept { return pipe_.stats().ipc(); }
 
  private:
+  /// Delta baseline for one thread's per-quantum trace snapshot. The
+  /// pipeline's accumulators are never touched for tracing (resetting
+  /// them would change STALLCOUNT / ACCIPC policy decisions); instead the
+  /// simulator differences against the previous snapshot, using the
+  /// pipeline's counter epochs to detect that an accumulator was reset
+  /// (quantum boundary, context switch) in between.
+  struct ThreadBaseline {
+    std::uint64_t quantum_epoch = 0;
+    std::uint64_t life_epoch = 0;
+    std::uint64_t committed_quantum = 0;
+    std::uint64_t cond_branches_quantum = 0;
+    std::uint64_t mispredicts_quantum = 0;
+    std::uint64_t l1d_misses_quantum = 0;
+    std::uint64_t l1i_misses_quantum = 0;
+    std::uint64_t fetched_total = 0;
+    obs::StallBreakdown stalls;
+  };
+
+  void record_quantum_snapshot();
+
   SimConfig cfg_;
   pipeline::Pipeline pipe_;
   core::DetectorThread detector_;
   fault::FaultInjector injector_;
-  std::vector<TraceRow> trace_;
   bool use_adts_ = false;
+
+  // --- trace instrumentation (inert while sink_ == nullptr) -------------
+  obs::TraceSink* sink_ = nullptr;  ///< not owned; dropped on copy
+  std::uint64_t snapshot_cycle_ = 0;      ///< cycle of the last snapshot
+  std::uint64_t snapshot_committed_ = 0;  ///< machine committed at snapshot
+  std::uint64_t snapshot_frag_ = 0;  ///< machine fragmentation at snapshot
+  std::uint64_t snapshot_dt_slots_ = 0;
+  std::vector<ThreadBaseline> baselines_;
+  bool dt_stalled_prev_ = false;
+  std::uint64_t dt_stall_begin_cycle_ = 0;
 };
 
 }  // namespace smt::sim

@@ -14,12 +14,15 @@
 //   smtsim --mix bal1 --oracle --quanta 16
 //   smtsim --mix fp8 --threads 4 --csv
 //   smtsim --mix mem8 --adts --guard --fault-corrupt 0.3 --fault-report
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/heuristics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/oracle.hpp"
 #include "sim/simulator.hpp"
 #include "workload/app_profile.hpp"
@@ -64,8 +67,16 @@ fault injection (all probabilities per quantum, in [0,1]):
   --fault-delay-quanta K      switch delay in quanta (default 2)
   --fault-blackout P          per-quantum fetch-blackout probability
   --fault-blackout-cycles N   blackout length in cycles (default 2048)
-  --fault-report              per-quantum CSV trace of faults, guard
-                              actions and the policy timeline
+  --fault-report              event-trace CSV on stdout: per-quantum
+                              snapshots, faults, guard actions and the
+                              policy timeline (needs --adts)
+
+observability (normal runs; ignored under --oracle):
+  --trace PATH          write the event trace to PATH after the run
+  --trace-format F      trace backend: csv | jsonl | chrome (default
+                        jsonl; chrome loads in Perfetto / chrome://tracing)
+  --stats-json PATH     write end-of-run metrics from every subsystem as
+                        nested JSON to PATH ('-' = stdout)
 
 run control:
   --cycles N            cycles to simulate (default 262144)
@@ -135,38 +146,6 @@ smt::fault::FaultConfig parse_fault_config(const smt::CliArgs& args) {
   return f;
 }
 
-void print_fault_report(const smt::sim::Simulator& sim) {
-  using namespace smt;
-  std::cout << "quantum,cycle,policy,ipc,guard_state,faults,guard_action\n";
-  for (const sim::TraceRow& r : sim.trace()) {
-    std::string faults;
-    const auto add = [&faults](const char* tag) {
-      if (!faults.empty()) faults += '|';
-      faults += tag;
-    };
-    if (r.fault_mask & fault::kFaultCounterNoise) add("noise");
-    if (r.fault_mask & fault::kFaultCounterFreeze) add("freeze");
-    if (r.fault_mask & fault::kFaultCounterCorrupt) add("corrupt");
-    if (r.fault_mask & fault::kFaultDtStall) add("dt-stall");
-    if (r.fault_mask & fault::kFaultSwitchDrop) add("drop");
-    if (r.fault_mask & fault::kFaultSwitchDelay) add("delay");
-    if (r.fault_mask & fault::kFaultBlackout) add("blackout");
-    if (faults.empty()) faults = "-";
-    std::string action = "-";
-    if (r.guard_pin) {
-      action = "pin-safe";
-    } else if (r.guard_revert) {
-      action = "revert";
-    } else if (r.guard_blocked) {
-      action = "hold";
-    }
-    std::cout << r.quantum << ',' << r.cycle << ','
-              << policy::name(r.policy) << ',' << Table::num(r.ipc) << ','
-              << core::name(r.guard_state) << ',' << faults << ',' << action
-              << '\n';
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,7 +159,7 @@ int main(int argc, char** argv) {
          "fault-noise", "fault-noise-mag", "fault-freeze", "fault-corrupt",
          "fault-dt-stall", "fault-stall-quanta", "fault-drop", "fault-delay",
          "fault-delay-quanta", "fault-blackout", "fault-blackout-cycles",
-         "fault-report"},
+         "fault-report", "trace", "trace-format", "stats-json"},
         /*flag_keys=*/{"adts", "instant", "guard", "oracle", "all-policies",
                        "csv", "list", "help", "fault-report"});
     if (args.has("help")) {
@@ -287,18 +266,74 @@ int main(int argc, char** argv) {
     }
 
     cfg.fault = parse_fault_config(args);
-    cfg.record_trace = args.has("fault-report");
+
+    obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
+    if (args.has("trace-format")) {
+      const std::string f = args.get_or("trace-format", "jsonl");
+      const auto parsed = obs::parse_trace_format(f);
+      if (!parsed) {
+        throw ConfigError("--trace-format must be csv, jsonl or chrome, got '" +
+                          f + "'");
+      }
+      trace_format = *parsed;
+    }
+
+    // Open output files before the (potentially long) run so a bad path
+    // fails in milliseconds, not after the full simulation.
+    const bool stats_to_stdout =
+        args.has("stats-json") && args.get_or("stats-json", "-") == "-";
+    std::ofstream stats_out;
+    if (args.has("stats-json") && !stats_to_stdout) {
+      const std::string path = args.get_or("stats-json", "-");
+      stats_out.open(path);
+      if (!stats_out) {
+        throw ConfigError("--stats-json: cannot open '" + path +
+                          "' for writing");
+      }
+    }
+    std::ofstream trace_out;
+    if (args.has("trace")) {
+      const std::string path = args.get_or("trace", "");
+      trace_out.open(path);
+      if (!trace_out) {
+        throw ConfigError("--trace: cannot open '" + path + "' for writing");
+      }
+    }
 
     sim::Simulator sim(cfg);
+    obs::TraceSink sink;
+    if (args.has("trace") || args.has("fault-report")) {
+      sim.attach_trace(&sink);
+    }
     sim.run(warmup);
     const std::uint64_t c0 = sim.committed();
     sim.run(cycles);
     const double ipc =
         static_cast<double>(sim.committed() - c0) / static_cast<double>(cycles);
 
+    if (args.has("stats-json")) {
+      obs::MetricsRegistry reg;
+      sim.export_metrics(reg);
+      reg.set("run.warmup_cycles", warmup);
+      reg.set("run.measured_cycles", cycles);
+      reg.set("run.measured_ipc", ipc);
+      if (stats_to_stdout) {
+        reg.write_json(std::cout);
+      } else {
+        reg.write_json(stats_out);
+      }
+    }
+
+    if (args.has("trace")) {
+      sink.write(trace_out, trace_format, sim::trace_decoder());
+    }
+
     if (args.has("fault-report")) {
-      print_fault_report(sim);
+      sink.write(std::cout, obs::TraceFormat::kCsv, sim::trace_decoder());
       return 0;
+    }
+    if (stats_to_stdout) {
+      return 0;  // stdout carries the JSON document; keep it parseable
     }
 
     const auto& st = sim.pipeline().stats();

@@ -13,8 +13,10 @@ TEST(RunningStat, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
-  EXPECT_EQ(s.min(), 0.0);
-  EXPECT_EQ(s.max(), 0.0);
+  // Extrema of an empty accumulator are NaN — an unobserved minimum must
+  // not masquerade as a real 0.0 in exported metrics.
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
 }
 
 TEST(RunningStat, SingleSample) {

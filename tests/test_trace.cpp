@@ -1,0 +1,338 @@
+// Unit and integration tests: the observability layer (src/obs/) and its
+// simulator instrumentation — TraceSink ring semantics, backend
+// serialization, trace determinism, the zero-perturbation contract, and
+// the MetricsRegistry --stats-json round trip.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/simulator.hpp"
+#include "workload/mix.hpp"
+
+namespace smt::obs {
+namespace {
+
+TraceEvent event_at(std::uint64_t cycle) {
+  TraceEvent e;
+  e.kind = EventKind::kQuantum;
+  e.cycle = cycle;
+  return e;
+}
+
+TEST(TraceSink, KeepsEventsInOrderBelowCapacity) {
+  TraceSink sink(8);
+  for (std::uint64_t i = 0; i < 5; ++i) sink.record(event_at(i));
+  EXPECT_EQ(sink.size(), 5u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto evs = sink.snapshot();
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(evs[i].cycle, i);
+}
+
+TEST(TraceSink, RingDropsOldestAndCountsDrops) {
+  TraceSink sink(4);
+  for (std::uint64_t i = 0; i < 10; ++i) sink.record(event_at(i));
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto evs = sink.snapshot();
+  ASSERT_EQ(evs.size(), 4u);
+  // The newest four survive, oldest-first.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(evs[i].cycle, 6 + i);
+}
+
+TEST(TraceSink, ClearResetsRingAndDropCounter) {
+  TraceSink sink(2);
+  for (std::uint64_t i = 0; i < 5; ++i) sink.record(event_at(i));
+  sink.clear();
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.dropped(), 0u);
+  sink.record(event_at(42));
+  EXPECT_EQ(sink.snapshot().at(0).cycle, 42u);
+}
+
+TEST(TraceFormatParse, AcceptsTheThreeBackends) {
+  EXPECT_EQ(parse_trace_format("csv"), TraceFormat::kCsv);
+  EXPECT_EQ(parse_trace_format("jsonl"), TraceFormat::kJsonl);
+  EXPECT_EQ(parse_trace_format("chrome"), TraceFormat::kChrome);
+  EXPECT_FALSE(parse_trace_format("xml").has_value());
+  EXPECT_FALSE(parse_trace_format("").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader, just rich enough to round-trip what the writers
+// emit (objects, strings, numbers, bools, null). Flattens nested objects
+// back into the dotted names the registry was populated with.
+// ---------------------------------------------------------------------------
+struct MiniJson {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  char peek() {
+    skip_ws();
+    EXPECT_LT(i, s.size()) << "unexpected end of JSON";
+    return s[i];
+  }
+  void expect(char c) {
+    ASSERT_EQ(peek(), c) << "at offset " << i;
+    ++i;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') ++i;
+      out += s[i++];
+    }
+    expect('"');
+    return out;
+  }
+  std::string parse_scalar() {  // number / bool / null, as raw text
+    skip_ws();
+    std::string out;
+    while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != '\n' &&
+           !std::isspace(static_cast<unsigned char>(s[i]))) {
+      out += s[i++];
+    }
+    return out;
+  }
+  void parse_object(const std::string& prefix,
+                    std::map<std::string, std::string>& out) {
+    expect('{');
+    if (peek() == '}') {
+      ++i;
+      return;
+    }
+    while (true) {
+      const std::string key = parse_string();
+      expect(':');
+      const std::string full = prefix.empty() ? key : prefix + "." + key;
+      if (peek() == '{') {
+        parse_object(full, out);
+      } else if (peek() == '"') {
+        out[full] = parse_string();
+      } else {
+        out[full] = parse_scalar();
+      }
+      if (peek() == ',') {
+        ++i;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+};
+
+std::map<std::string, std::string> flatten_json(const std::string& text) {
+  std::map<std::string, std::string> out;
+  MiniJson p{text};
+  p.parse_object("", out);
+  return out;
+}
+
+TEST(MetricsRegistry, WritesNestedJsonFromDottedNames) {
+  MetricsRegistry reg;
+  reg.set("adts.switches", std::uint64_t{7});
+  reg.set("adts.benign_fraction", 0.5);
+  reg.set("machine.ipc", 3.25);
+  reg.set("config.mode", "adts");
+  reg.set("guard.enabled", true);
+  std::ostringstream os;
+  reg.write_json(os);
+
+  const auto flat = flatten_json(os.str());
+  EXPECT_EQ(flat.at("adts.switches"), "7");
+  EXPECT_EQ(flat.at("adts.benign_fraction"), "0.5");
+  EXPECT_EQ(flat.at("machine.ipc"), "3.25");
+  EXPECT_EQ(flat.at("config.mode"), "adts");
+  EXPECT_EQ(flat.at("guard.enabled"), "true");
+}
+
+TEST(MetricsRegistry, NonFiniteDoublesSerializeAsNull) {
+  MetricsRegistry reg;
+  reg.set("stat.min", std::nan(""));
+  reg.set("stat.max", 2.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const auto flat = flatten_json(os.str());
+  EXPECT_EQ(flat.at("stat.min"), "null");
+  EXPECT_EQ(flat.at("stat.max"), "2");
+}
+
+TEST(MetricsRegistry, RepeatedSetKeepsLastValueAndFindSeesIt) {
+  MetricsRegistry reg;
+  reg.set("x", std::uint64_t{1});
+  reg.set("x", std::uint64_t{2});
+  EXPECT_EQ(reg.size(), 1u);
+  const auto v = reg.find("x");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(std::get<std::uint64_t>(*v), 2u);
+  EXPECT_FALSE(reg.find("absent").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Simulator integration.
+// ---------------------------------------------------------------------------
+
+sim::SimConfig traced_config(const char* mix_name, bool adts) {
+  sim::SimConfig cfg = sim::make_config(workload::mix(mix_name), 8, 2003);
+  cfg.adts.quantum_cycles = 1024;
+  cfg.use_adts = adts;
+  return cfg;
+}
+
+TEST(SimulatorTrace, SameSeedAndConfigGiveByteIdenticalJsonl) {
+  const sim::SimConfig cfg = traced_config("bal1", /*adts=*/true);
+  sim::Simulator a(cfg);
+  sim::Simulator b(cfg);
+  TraceSink sa;
+  TraceSink sb;
+  a.attach_trace(&sa);
+  b.attach_trace(&sb);
+  a.run(8 * 1024);
+  b.run(8 * 1024);
+  std::ostringstream ja;
+  std::ostringstream jb;
+  sa.write(ja, TraceFormat::kJsonl, sim::trace_decoder());
+  sb.write(jb, TraceFormat::kJsonl, sim::trace_decoder());
+  ASSERT_GT(sa.size(), 0u);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(SimulatorTrace, AttachingASinkDoesNotPerturbTheRun) {
+  const sim::SimConfig cfg = traced_config("mem8", /*adts=*/true);
+  sim::Simulator traced(cfg);
+  sim::Simulator silent(cfg);
+  TraceSink sink;
+  traced.attach_trace(&sink);
+  traced.run(8 * 1024);
+  silent.run(8 * 1024);
+  EXPECT_EQ(traced.committed(), silent.committed());
+  EXPECT_EQ(traced.pipeline().stats().fetched, silent.pipeline().stats().fetched);
+  EXPECT_EQ(traced.pipeline().stats().squashed, silent.pipeline().stats().squashed);
+  EXPECT_EQ(traced.detector().stats().switches, silent.detector().stats().switches);
+  EXPECT_GT(sink.size(), 0u);
+}
+
+TEST(SimulatorTrace, QuantumSnapshotsCoverMachineAndEveryThread) {
+  const sim::SimConfig cfg = traced_config("ilp8", /*adts=*/false);
+  sim::Simulator s(cfg);
+  TraceSink sink;
+  s.attach_trace(&sink);
+  s.run(4 * 1024);  // 4 quanta at 1024 cycles
+  std::size_t machine_rows = 0;
+  std::size_t thread_rows = 0;
+  for (const TraceEvent& e : sink.snapshot()) {
+    if (e.kind == EventKind::kQuantum) {
+      ++machine_rows;
+      EXPECT_EQ(e.tid, -1);
+      EXPECT_EQ(e.span, 1024u);
+    } else if (e.kind == EventKind::kThreadQuantum) {
+      ++thread_rows;
+      EXPECT_GE(e.tid, 0);
+      EXPECT_LT(e.tid, 8);
+    }
+  }
+  EXPECT_EQ(machine_rows, 4u);
+  EXPECT_EQ(thread_rows, 4u * 8u);
+}
+
+TEST(SimulatorTrace, CopiedSimulatorDropsTheSink) {
+  const sim::SimConfig cfg = traced_config("bal1", /*adts=*/true);
+  sim::Simulator original(cfg);
+  TraceSink sink;
+  original.attach_trace(&sink);
+  original.run(2 * 1024);
+  const std::size_t recorded = sink.size();
+  ASSERT_GT(recorded, 0u);
+
+  // The oracle copies simulators and re-runs quanta; a copy sharing the
+  // sink would double-record them.
+  sim::Simulator copy(original);
+  EXPECT_EQ(copy.trace_sink(), nullptr);
+  copy.run(2 * 1024);
+  EXPECT_EQ(sink.size(), recorded);
+  EXPECT_NE(original.trace_sink(), nullptr);
+}
+
+TEST(SimulatorTrace, ChromeBackendEmitsAWellFormedDocument) {
+  const sim::SimConfig cfg = traced_config("mem8", /*adts=*/true);
+  sim::Simulator s(cfg);
+  TraceSink sink;
+  s.attach_trace(&sink);
+  s.run(4 * 1024);
+  std::ostringstream os;
+  sink.write(os, TraceFormat::kChrome, sim::trace_decoder());
+  const std::string doc = os.str();
+  EXPECT_EQ(doc.rfind("{\"displayTimeUnit\"", 0), 0u);
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  // Balanced braces/brackets ⇒ structurally sound JSON for this writer.
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const char ch = doc[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    else if (ch == '{' || ch == '[') ++depth;
+    else if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(SimulatorTrace, ExportMetricsRoundTripsThroughJson) {
+  const sim::SimConfig cfg = traced_config("ctrl8", /*adts=*/true);
+  sim::Simulator s(cfg);
+  s.run(8 * 1024);
+  MetricsRegistry reg;
+  s.export_metrics(reg);
+  std::ostringstream os;
+  reg.write_json(os);
+  const auto flat = flatten_json(os.str());
+
+  // Every registered entry must survive the write → parse round trip
+  // with its value intact.
+  EXPECT_EQ(flat.at("config.mode"), "adts");
+  EXPECT_EQ(flat.at("machine.cycles"),
+            std::to_string(s.pipeline().stats().cycles));
+  EXPECT_EQ(flat.at("machine.committed"), std::to_string(s.committed()));
+  EXPECT_EQ(flat.at("adts.switches"),
+            std::to_string(s.detector().stats().switches));
+  EXPECT_EQ(flat.at("threads.0.committed"),
+            std::to_string(s.pipeline().counters(0).committed_total));
+  EXPECT_EQ(flat.at("threads.7.stalls.icache_miss"),
+            std::to_string(s.pipeline().stall_breakdown(7)[
+                StallCause::kIcacheMiss]));
+
+  // Acceptance invariant: per-thread stall causes sum to the total lost
+  // fetch slots (idle minus what the detector thread absorbed).
+  std::uint64_t charged = std::stoull(flat.at("machine.charged_stall_slots"));
+  std::uint64_t summed = 0;
+  for (int tid = 0; tid < 8; ++tid) {
+    summed += std::stoull(
+        flat.at("threads." + std::to_string(tid) + ".stall_slots"));
+  }
+  for (std::size_t c = 0; c < kNumStallCauses; ++c) {
+    summed += std::stoull(flat.at(
+        "machine.stalls." +
+        std::string(name(static_cast<StallCause>(c)))));
+  }
+  EXPECT_EQ(summed, charged);
+  EXPECT_EQ(charged + std::stoull(flat.at("machine.dt_slots_used")),
+            std::stoull(flat.at("machine.fetch_slots_idle")));
+}
+
+}  // namespace
+}  // namespace smt::obs
