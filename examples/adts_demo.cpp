@@ -62,7 +62,8 @@ int main(int argc, char** argv) {
 
     std::string clogs;
     for (std::uint32_t tid : sim.detector().clogging_threads()) {
-      clogs += (clogs.empty() ? "" : ",") + std::to_string(tid);
+      if (!clogs.empty()) clogs += ',';
+      clogs += std::to_string(tid);
     }
     t.add_row({std::to_string(q),
                std::string(smt::policy::name(sim.pipeline().policy())) +

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Formatting gate: clang-format --dry-run over every C++ file.
+#
+# Exit codes: 0 clean, 1 violations, 77 clang-format not installed (ctest
+# SKIP_RETURN_CODE — the gate skips rather than fails on bare hosts; CI
+# installs the tool and enforces).
+#
+# Usage: scripts/check_format.sh [--fix]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+clang_format="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "check_format: $clang_format not found — skipping" >&2
+  exit 77
+fi
+
+mapfile -t files < <(find src tests bench examples \
+  -name '*.cpp' -o -name '*.hpp' | sort)
+
+if [ "${1:-}" = "--fix" ]; then
+  "$clang_format" -i "${files[@]}"
+  echo "check_format: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+"$clang_format" --dry-run --Werror "${files[@]}"
+echo "check_format: OK (${#files[@]} files)"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Invariant-checker CI gate.
+#
+# 1. Runs every paper mix through an ADTS run under --check; any violated
+#    microarchitectural invariant makes smtsim exit 4 and fails the gate.
+# 2. Asserts the zero-perturbation contract: the --csv result of each
+#    checked run is byte-identical to the same run unchecked.
+# 3. Runs a heavily faulted ADTS+guard mix under --check: faults perturb
+#    only the observed counter view, so the architectural invariants must
+#    keep holding while the guard reacts.
+#
+# Usage: scripts/check_invariants.sh [smtsim-binary]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+smtsim="${1:-${BUILD_DIR:-$repo/build}/src/smtsim}"
+if [ ! -x "$smtsim" ]; then
+  echo "check_invariants: $smtsim not built" >&2
+  exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+mixes=(ctrl8 mem8 ilp8 cache8 bal1 bal2 bal3 bal4 int8 span8 fp8 var1 var2)
+common=(--adts --cycles 32768 --warmup 8192 --quantum 1024 --csv)
+
+for mix in "${mixes[@]}"; do
+  echo "== $mix: checked vs unchecked"
+  "$smtsim" --mix "$mix" "${common[@]}" --check > "$tmp/checked.csv"
+  "$smtsim" --mix "$mix" "${common[@]}"         > "$tmp/plain.csv"
+  cmp "$tmp/checked.csv" "$tmp/plain.csv"
+done
+
+echo "== mem8 faulted ADTS+guard under --check"
+"$smtsim" --mix mem8 --adts --guard --fault-corrupt 0.3 --fault-dt-stall 0.2 \
+  --fault-blackout 0.2 --cycles 32768 --warmup 8192 --quantum 1024 --csv \
+  --check > /dev/null
+
+echo "== SMT_CHECK=1 environment enables auto mode"
+SMT_CHECK=1 "$smtsim" --mix bal1 --cycles 8192 --csv > /dev/null
+
+echo "check_invariants: OK (${#mixes[@]} mixes)"

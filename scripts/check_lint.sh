@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Determinism & hygiene lint (pure grep — runs everywhere, no toolchain).
+#
+# The simulator's central contract is bit-reproducible runs: copying a
+# Simulator must replay identically, and a traced/checked run must be
+# byte-identical to a plain one. These rules fence off the library code
+# (src/, minus src/tools/) from everything that breaks that contract:
+#
+#   1. No ambient nondeterminism: rand()/srand()/random_device, wall or
+#      steady clocks, time(). All randomness flows through common/rng.hpp,
+#      seeded from the run configuration.
+#   2. No unordered containers: their iteration order is
+#      implementation-defined, which silently varies results across
+#      standard libraries. Use std::map/std::vector/FixedQueue.
+#   3. No <iostream> or std::cout/std::cerr in library code: per-cycle
+#      paths must not touch streams; all human output lives in the CLI
+#      driver (src/tools/) and in explicit writers taking an ostream&.
+#   4. Every header carries #pragma once.
+#
+# Usage: scripts/check_lint.sh        (exit 0 clean, 1 violations)
+set -uo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+fail=0
+complain() {
+  echo "lint: $1" >&2
+  shift
+  printf '  %s\n' "$@" >&2
+  fail=1
+}
+
+# Library sources: everything under src/ except the CLI driver.
+mapfile -t lib_files < <(find src -name '*.cpp' -o -name '*.hpp' \
+  | grep -v '^src/tools/' | sort)
+mapfile -t headers < <(find src -name '*.hpp' | sort)
+
+# --- 1. ambient nondeterminism --------------------------------------------
+bad=$(grep -nE '\b(srand|random_device|system_clock|steady_clock|high_resolution_clock)\b|[^_[:alnum:]]rand\(|std::time\(|\btime\(NULL\)|\btime\(0\)' \
+  "${lib_files[@]}" /dev/null | grep -vE '^\S+:[0-9]+:\s*(//|\*)' || true)
+if [ -n "$bad" ]; then
+  complain "ambient nondeterminism (use common/rng.hpp, cfg-seeded):" "$bad"
+fi
+
+# --- 2. unordered containers ----------------------------------------------
+bad=$(grep -nE 'unordered_(map|set|multimap|multiset)' \
+  "${lib_files[@]}" /dev/null | grep -vE '^\S+:[0-9]+:\s*(//|\*)' || true)
+if [ -n "$bad" ]; then
+  complain "unordered container (iteration order is not deterministic):" \
+    "$bad"
+fi
+
+# --- 3. streams in library code -------------------------------------------
+bad=$(grep -nE '#include <iostream>|std::(cout|cerr)\b' \
+  "${lib_files[@]}" /dev/null | grep -vE '^\S+:[0-9]+:\s*(//|\*)' || true)
+if [ -n "$bad" ]; then
+  complain "stream I/O in library code (only src/tools/ may print):" "$bad"
+fi
+
+# --- 4. #pragma once -------------------------------------------------------
+bad=$(grep -L '#pragma once' "${headers[@]}" || true)
+if [ -n "$bad" ]; then
+  complain "header without #pragma once:" "$bad"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_lint: FAILED" >&2
+  exit 1
+fi
+echo "check_lint: OK (${#lib_files[@]} library files, ${#headers[@]} headers)"

@@ -47,7 +47,7 @@ import sys
 jsonl, stats_path, chrome = sys.argv[1:4]
 
 KINDS = {"quantum", "thread_quantum", "policy_switch", "guard_action",
-         "fault", "dt_stall_begin", "dt_stall_end"}
+         "fault", "dt_stall_begin", "dt_stall_end", "invariant"}
 KEYS = {"event", "quantum", "cycle", "tid", "span", "policy_before",
         "policy_after", "code", "mask", "value", "ipc", "fetch_share",
         "mispredict_rate", "l1d_miss_rate", "l1i_miss_rate", "stalls"}

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Build and run the full test suite under ASan and UBSan.
 #
-# Usage: scripts/check_sanitize.sh [address|undefined]...
+# Usage: scripts/check_sanitize.sh [address|undefined|address,undefined]...
 # With no arguments both sanitizers run, each in its own build tree
 # (build-asan/, build-ubsan/), leaving the regular build/ untouched.
+# A combined "address,undefined" argument builds one tree under both
+# (build-asan-ubsan/) — what the CI matrix uses for its merged job.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -14,9 +16,11 @@ fi
 
 for san in "${sanitizers[@]}"; do
   case "$san" in
-    address)   dir="$repo/build-asan" ;;
-    undefined) dir="$repo/build-ubsan" ;;
-    *) echo "unknown sanitizer: $san (use address | undefined)" >&2; exit 2 ;;
+    address)           dir="$repo/build-asan" ;;
+    undefined)         dir="$repo/build-ubsan" ;;
+    address,undefined|undefined,address) dir="$repo/build-asan-ubsan" ;;
+    *) echo "unknown sanitizer: $san (use address | undefined |" \
+            "address,undefined)" >&2; exit 2 ;;
   esac
   echo "== $san: configuring $dir"
   cmake -B "$dir" -S "$repo" -DSMT_SANITIZE="$san" \

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy over the library and driver sources,
+# using the build tree's compilation database (CMAKE_EXPORT_COMPILE_COMMANDS
+# is on by default in the top-level CMakeLists).
+#
+# Exit codes: 0 clean, 1 findings, 77 clang-tidy not installed (ctest
+# SKIP_RETURN_CODE) or no compile_commands.json. The check set lives in
+# .clang-tidy; WarningsAsErrors there makes any finding fatal.
+#
+# Usage: scripts/check_tidy.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+clang_tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$clang_tidy" >/dev/null 2>&1; then
+  echo "check_tidy: $clang_tidy not found — skipping" >&2
+  exit 77
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "check_tidy: $build/compile_commands.json missing — skipping" >&2
+  exit 77
+fi
+
+cd "$repo"
+mapfile -t files < <(find src -name '*.cpp' | sort)
+
+"$clang_tidy" -p "$build" --quiet "${files[@]}"
+echo "check_tidy: OK (${#files[@]} translation units)"

@@ -1,0 +1,170 @@
+// Microarchitectural invariant checker.
+//
+// The paper's headline numbers (ADTS recovering ~25-27 % over fixed
+// ICOUNT) are IPC ratios, and an IPC ratio is only as trustworthy as the
+// cycle-level accounting underneath it: a silently broken conservation
+// law in fetch, rename or commit corrupts every result without failing a
+// single functional test. PR 2 proved one such law (stall-slot
+// attribution) per cycle; this subsystem generalises that into a
+// pluggable runtime checker that an end-to-end run can keep enabled.
+//
+// Six invariant classes (InvariantClass), checked every Simulator step:
+//
+//   * resource conservation — every occupancy counter (icount / brcount /
+//     ldcount / memcount / L1D outstanding / front-end count), the shared
+//     LSQ, both rename files and both IQ capacities recomputed from the
+//     windows and compared with the incrementally maintained values
+//     (Pipeline::audit_resources).
+//   * slot conservation — the fetch-slot ledger balances absolutely:
+//     fetched + fetch_slots_idle == cycles × fetch_width, and
+//     charged_stall_slots + dt_slots_used == fetch_slots_idle.
+//   * commit order — the machine retires ≤ commit_width per cycle, the
+//     global retirement counter equals the sum of per-thread retirements,
+//     and each thread's window-head seq advances by exactly its committed
+//     delta (in-order commit: a thread cannot retire around its head).
+//   * counter epochs — quantum/life epochs never go backwards, quantum
+//     accumulators never shrink within an epoch, and every sample passes
+//     the hard physical ceilings of pipeline::counters_plausible.
+//   * guard transitions — the degradation-guard FSM only moves along
+//     legal edges, and only at quantum boundaries (the only cycles the
+//     guard's on_quantum runs, fault or no fault).
+//   * policy switches — the fetch policy never changes while ADTS cannot
+//     act (disabled or suspended); with ADTS on, switches may land on any
+//     cycle because Policy_Switch applies when the DT's work drains.
+//
+// The checker is a pure observer: it reads the pipeline/detector through
+// const references, keeps its own baselines, and never mutates simulated
+// state — a checked run is bit-identical to an unchecked one (enforced by
+// tests/test_invariants.cpp and scripts/check_invariants.sh). Violations
+// are recorded here, surfaced as kInvariant trace events by the
+// Simulator, and turned into exit code kExitCheck by smtsim.
+//
+// Adding a pass: see DESIGN.md §11.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "pipeline/pipeline.hpp"
+#include "policy/fetch_policy.hpp"
+
+namespace smt::check {
+
+/// Whether checking is active. kAuto defers to the SMT_CHECK environment
+/// variable so a CMake option (and CI) can default-enable checking for
+/// every test-constructed Simulator without code changes.
+enum class CheckMode : std::uint8_t { kAuto, kOn, kOff };
+
+/// Resolve a CheckMode: kOn/kOff pass through; kAuto reads SMT_CHECK
+/// ("1" / "on" / "true" enable, anything else — including unset — off).
+[[nodiscard]] bool check_enabled(CheckMode m) noexcept;
+
+enum class InvariantClass : std::uint8_t {
+  kResourceConservation,
+  kSlotConservation,
+  kCommitOrder,
+  kCounterEpoch,
+  kGuardTransition,
+  kPolicySwitch,
+};
+inline constexpr std::size_t kNumInvariantClasses = 6;
+
+[[nodiscard]] std::string_view name(InvariantClass c) noexcept;
+/// TraceDecoder-compatible namer (TraceEvent::code -> class name).
+[[nodiscard]] std::string_view invariant_class_name(std::uint8_t code) noexcept;
+
+/// Legal edges of the DegradationGuard FSM (guard.hpp). Self-loops are
+/// always legal; the directed edges follow the documented state machine:
+/// ARMED -> REVERTING | SAFE_MODE, REVERTING -> ARMED | SAFE_MODE,
+/// SAFE_MODE -> COOLDOWN, COOLDOWN -> ARMED | SAFE_MODE.
+[[nodiscard]] bool guard_transition_legal(core::GuardState from,
+                                          core::GuardState to) noexcept;
+
+/// One recorded violation. `detail` is a static string literal.
+struct Violation {
+  InvariantClass cls = InvariantClass::kResourceConservation;
+  std::uint64_t cycle = 0;
+  std::int32_t tid = -1;  ///< offending thread; -1 = machine-wide
+  std::uint64_t value = 0;  ///< offending quantity (mask, delta, sample)
+  const char* detail = "";
+};
+
+struct CheckerConfig {
+  /// ADTS quantum (guard transitions are only legal on its boundaries).
+  std::uint64_t quantum_cycles = 8192;
+  /// Violations recorded with full context; counting never stops.
+  std::size_t max_recorded = 64;
+};
+
+class InvariantChecker {
+ public:
+  InvariantChecker() = default;
+  explicit InvariantChecker(const CheckerConfig& cfg) : cfg_(cfg) {}
+
+  /// Baseline every delta against the current state. Called implicitly by
+  /// the first on_cycle; call explicitly to re-arm after external
+  /// manipulation the checker should not attribute to the machine.
+  void arm(const pipeline::Pipeline& pipe, const core::DetectorThread& dt);
+
+  /// Run every pass. Call once per Simulator step, after all mutations of
+  /// the cycle (pipeline step, fault injection, detector tick). Gaps
+  /// (cycles advanced outside the checked step loop) are handled: the
+  /// per-span laws stretch over the gap, the absolute laws don't care.
+  /// Returns the number of violations newly *recorded* this call.
+  std::size_t on_cycle(const pipeline::Pipeline& pipe,
+                       const core::DetectorThread& dt, bool adts_enabled);
+
+  [[nodiscard]] bool ok() const noexcept { return total_ == 0; }
+  [[nodiscard]] std::uint64_t violation_count() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] std::uint64_t count(InvariantClass c) const noexcept {
+    return per_class_[static_cast<std::size_t>(c)];
+  }
+  /// Recorded violations, oldest first (capped at cfg.max_recorded).
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return log_;
+  }
+
+  /// Per-class summary + the recorded violations. No output when ok().
+  void write_report(std::ostream& os) const;
+
+  /// Test-only: fabricate a guard-state baseline so the next on_cycle
+  /// observes a transition that never happened (negative tests).
+  void testing_set_prev_guard_state(core::GuardState s) noexcept {
+    prev_guard_ = s;
+  }
+
+ private:
+  void report(InvariantClass cls, std::uint64_t cycle, std::int32_t tid,
+              std::uint64_t value, const char* detail);
+
+  /// Per-thread delta baselines from the previous on_cycle.
+  struct ThreadBase {
+    std::uint64_t committed_total = 0;
+    std::uint64_t head_seq = 0;
+    std::uint64_t committed_quantum = 0;
+    std::uint64_t quantum_epoch = 0;
+    std::uint64_t life_epoch = 0;
+    /// Cycle the quantum accumulators last restarted (bounds them).
+    std::uint64_t epoch_base_cycle = 0;
+  };
+
+  CheckerConfig cfg_{};
+  bool armed_ = false;
+  std::uint64_t prev_cycle_ = 0;
+  std::uint64_t prev_committed_ = 0;
+  policy::FetchPolicy prev_policy_ = policy::FetchPolicy::kIcount;
+  core::GuardState prev_guard_ = core::GuardState::kArmed;
+  std::vector<ThreadBase> threads_;
+
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kNumInvariantClasses> per_class_{};
+  std::vector<Violation> log_;
+};
+
+}  // namespace smt::check

@@ -18,6 +18,8 @@
 //   kFault          -1     mask (fault::FaultClass bits starting now)
 //   kDtStallBegin   -1     —
 //   kDtStallEnd     -1     span (cycles the DT slot was stalled)
+//   kInvariant      any    code (check::InvariantClass), value (offending
+//                          quantity: mismatch mask, excess delta, ...)
 //
 // Rates are per cycle over the event's span, matching the convention of
 // pipeline::QuantumRates; fetch_share is the fraction of *all* fetch
@@ -40,6 +42,7 @@ enum class EventKind : std::uint8_t {
   kFault,          ///< fault injector scheduled events for this quantum
   kDtStallBegin,   ///< detector-thread stall window opened
   kDtStallEnd,     ///< detector-thread stall window closed
+  kInvariant,      ///< invariant checker detected a violation (src/check)
 };
 
 [[nodiscard]] constexpr std::string_view name(EventKind k) noexcept {
@@ -51,6 +54,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kFault: return "fault";
     case EventKind::kDtStallBegin: return "dt_stall_begin";
     case EventKind::kDtStallEnd: return "dt_stall_end";
+    case EventKind::kInvariant: return "invariant";
   }
   return "unknown";
 }

@@ -50,6 +50,9 @@ void put_kind_code(std::ostream& os, const TraceDecoder& dec,
     case EventKind::kGuardAction:
       os << name(static_cast<GuardAct>(e.code));
       break;
+    case EventKind::kInvariant:
+      put_code(os, dec.invariant, e.code);
+      break;
     default:
       os << static_cast<unsigned>(e.code);
       break;
@@ -278,6 +281,15 @@ void TraceSink::write_chrome(std::ostream& os,
         os << "{\"name\":\"" << name(e.kind)
            << "\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":" << e.cycle
            << ",\"pid\":0,\"tid\":0,\"s\":\"g\"}";
+        break;
+      }
+      case EventKind::kInvariant: {
+        next();
+        os << "{\"name\":\"invariant ";
+        put_code(os, dec.invariant, e.code);
+        os << "\",\"cat\":\"check\",\"ph\":\"i\",\"ts\":" << e.cycle
+           << ",\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{\"tid\":" << e.tid
+           << ",\"value\":" << e.value << "}}";
         break;
       }
     }

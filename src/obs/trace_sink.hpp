@@ -51,6 +51,8 @@ struct TraceDecoder {
   std::string_view (*policy)(std::uint8_t code) = nullptr;
   std::string_view (*heuristic)(std::uint8_t code) = nullptr;
   std::string_view (*guard_state)(std::uint8_t code) = nullptr;
+  /// Decode a check::InvariantClass code on kInvariant events.
+  std::string_view (*invariant)(std::uint8_t code) = nullptr;
   /// Render a fault::FaultClass bitmask as "noise|blackout" etc.
   std::string (*fault_mask)(std::uint8_t mask) = nullptr;
 };

@@ -747,9 +747,10 @@ std::uint64_t Pipeline::charged_stall_slots() const noexcept {
 }
 
 // ---------------------------------------------------------------------------
-// Invariant checking (tests).
+// Structural audit (src/check + tests).
 // ---------------------------------------------------------------------------
-bool Pipeline::check_counter_invariants() const {
+Pipeline::ResourceAudit Pipeline::audit_resources() const {
+  ResourceAudit a;
   std::uint32_t lsq = 0;
   std::uint32_t int_held = 0;
   std::uint32_t fp_held = 0;
@@ -763,6 +764,7 @@ bool Pipeline::check_counter_invariants() const {
     std::int32_t frontend = 0;
     for (std::size_t i = 0; i < t.window.size(); ++i) {
       const DynInstr& d = t.window[i];
+      if (d.seq != t.head_seq + i) a.seq_mismatch |= 1u << tid;
       const bool mem = isa::is_mem(d.si.cls);
       if (mem ? d.state != DynInstr::State::kDone
               : (d.state == DynInstr::State::kFrontEnd ||
@@ -789,16 +791,17 @@ bool Pipeline::check_counter_invariants() const {
     if (icount != c.icount || brcount != c.brcount || ldcount != c.ldcount ||
         memcount != c.memcount || l1d_out != c.l1d_outstanding ||
         frontend != t.frontend_count) {
-      return false;
+      a.thread_mismatch |= 1u << tid;
     }
   }
-  if (lsq != lsq_used_) return false;
-  if (int_held + int_rename_free_ != cfg_.int_rename_regs) return false;
-  if (fp_held + fp_rename_free_ != cfg_.fp_rename_regs) return false;
-  if (int_iq_.size() > cfg_.int_iq_size || fp_iq_.size() > cfg_.fp_iq_size) {
-    return false;
-  }
-  return true;
+  a.lsq_mismatch = lsq != lsq_used_;
+  a.int_rename_mismatch = int_held + int_rename_free_ != cfg_.int_rename_regs;
+  a.fp_rename_mismatch = fp_held + fp_rename_free_ != cfg_.fp_rename_regs;
+  a.iq_overflow =
+      int_iq_.size() > cfg_.int_iq_size || fp_iq_.size() > cfg_.fp_iq_size;
+  a.ok = a.thread_mismatch == 0 && a.seq_mismatch == 0 && !a.lsq_mismatch &&
+         !a.int_rename_mismatch && !a.fp_rename_mismatch && !a.iq_overflow;
+  return a;
 }
 
 // ---------------------------------------------------------------------------

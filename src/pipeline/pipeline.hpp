@@ -171,10 +171,72 @@ class Pipeline {
   /// at each quantum boundary).
   void reset_quantum_counters();
 
-  /// Occupancy invariant check used by tests: recomputes the occupancy
-  /// counters from the windows and compares with the incrementally
-  /// maintained values. Returns true when consistent.
-  [[nodiscard]] bool check_counter_invariants() const;
+  // --- structural audit (src/check) --------------------------------------
+  /// Result of a full structural resource audit: every occupancy counter
+  /// recomputed from the windows and compared with the incrementally
+  /// maintained values, plus capacity and program-order checks.
+  struct ResourceAudit {
+    bool ok = true;
+    /// Bit `tid` set => that thread's occupancy counters (icount/brcount/
+    /// ldcount/memcount/l1d_outstanding/frontend_count) disagree with a
+    /// recount of its window.
+    std::uint32_t thread_mismatch = 0;
+    /// Bit `tid` set => that thread's window seqs are not contiguous from
+    /// head_seq (program order broken).
+    std::uint32_t seq_mismatch = 0;
+    bool lsq_mismatch = false;         ///< lsq_used_ != Σ held LSQ entries
+    bool int_rename_mismatch = false;  ///< held + free != configured regs
+    bool fp_rename_mismatch = false;
+    bool iq_overflow = false;  ///< an IQ holds more refs than its capacity
+  };
+
+  /// Recompute all shared-resource occupancy from first principles
+  /// (O(total in-flight instructions) — the invariant checker runs it
+  /// every cycle; per-cycle laws elsewhere stay O(threads)).
+  [[nodiscard]] ResourceAudit audit_resources() const;
+
+  /// Occupancy invariant check used by tests: true when audit_resources()
+  /// finds every counter consistent.
+  [[nodiscard]] bool check_counter_invariants() const {
+    return audit_resources().ok;
+  }
+
+  /// Seq of the next instruction to commit on `tid` (its window head).
+  /// Advances by exactly one per retired instruction and is preserved
+  /// across squashes and context switches, so Δhead_seq == Δcommitted
+  /// between any two cycles with the same life_epoch.
+  [[nodiscard]] std::uint64_t head_seq(std::uint32_t tid) const {
+    return threads_[tid].head_seq;
+  }
+
+  // --- test-only corruption hooks (negative tests for src/check) ---------
+  // Each hook silently breaks one bookkeeping law so tests can prove the
+  // corresponding invariant-checker pass actually fires. Never called
+  // outside tests/test_invariants.cpp.
+  void testing_corrupt_icount(std::uint32_t tid, std::int32_t delta) {
+    threads_[tid].counters.icount += delta;
+  }
+  void testing_corrupt_stall_ledger(std::uint64_t slots) {
+    machine_stalls_.slots[0] += slots;
+  }
+  void testing_corrupt_committed(std::uint64_t delta) {
+    stats_.committed += delta;
+  }
+  void testing_corrupt_quantum_counter(std::uint32_t tid, std::uint64_t v) {
+    threads_[tid].counters.committed_quantum = v;
+  }
+  void testing_rewind_quantum_epoch(std::uint32_t tid) {
+    --threads_[tid].quantum_epoch;
+  }
+  void testing_corrupt_head_seq(std::uint32_t tid, std::uint64_t delta) {
+    threads_[tid].head_seq += delta;
+  }
+  bool testing_corrupt_window_seq(std::uint32_t tid) {
+    Thread& t = threads_[tid];
+    if (t.window.empty()) return false;
+    t.window.back().seq += 7;
+    return true;
+  }
 
  private:
   // One in-flight instruction.

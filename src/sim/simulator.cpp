@@ -20,6 +20,7 @@ obs::TraceDecoder trace_decoder() noexcept {
   d.guard_state = [](std::uint8_t code) -> std::string_view {
     return core::name(static_cast<core::GuardState>(code));
   };
+  d.invariant = check::invariant_class_name;
   d.fault_mask = [](std::uint8_t mask) -> std::string {
     if (mask == 0) return "-";
     std::string out;
@@ -79,8 +80,15 @@ Simulator::Simulator(const SimConfig& cfg)
       pipe_(cfg.machine, build_programs(cfg)),
       detector_(adts_config_of(cfg)),
       injector_(cfg.fault, cfg.adts.quantum_cycles),
-      use_adts_(cfg.use_adts) {
+      use_adts_(cfg.use_adts),
+      check_on_(check::check_enabled(cfg.check)) {
   pipe_.set_policy(cfg.fixed_policy);
+  if (check_on_) {
+    check::CheckerConfig ccfg;
+    ccfg.quantum_cycles = cfg.adts.quantum_cycles;
+    checker_ = check::InvariantChecker(ccfg);
+    checker_.arm(pipe_, detector_);
+  }
 }
 
 Simulator::Simulator(const Simulator& other)
@@ -91,6 +99,8 @@ Simulator::Simulator(const Simulator& other)
       use_adts_(other.use_adts_) {
   // sink_ and the snapshot baselines stay default: a copy is silent (see
   // the header; the oracle re-runs copies over already-recorded quanta).
+  // check_on_ stays false for the same reason: oracle trials set policies
+  // directly on copies, which the legality pass would flag on a live run.
 }
 
 Simulator& Simulator::operator=(const Simulator& other) {
@@ -102,6 +112,8 @@ Simulator& Simulator::operator=(const Simulator& other) {
   use_adts_ = other.use_adts_;
   sink_ = nullptr;
   baselines_.clear();
+  checker_ = check::InvariantChecker{};
+  check_on_ = false;
   return *this;
 }
 
@@ -160,6 +172,14 @@ void Simulator::step() {
   if (faulted) injector_.tick(pipe_);
   if (use_adts_) detector_.tick(pipe_, faulted ? &injector_ : nullptr);
 
+  // The checker observes the fully mutated cycle (pipeline step, fault
+  // injection, detector tick). It is a pure reader: a checked run is
+  // bit-identical to an unchecked one.
+  std::size_t fresh_violations = 0;
+  if (check_on_) {
+    fresh_violations = checker_.on_cycle(pipe_, detector_, use_adts_);
+  }
+
   if (sink_ == nullptr) return;
   const std::uint64_t cycle = pipe_.now();
   const std::uint64_t quantum = cycle / cfg_.adts.quantum_cycles;
@@ -211,6 +231,21 @@ void Simulator::step() {
     e.quantum = quantum;
     e.mask = injector_.current_mask();
     sink_->record(e);
+  }
+
+  if (fresh_violations > 0) {
+    const std::vector<check::Violation>& log = checker_.violations();
+    for (std::size_t i = log.size() - fresh_violations; i < log.size(); ++i) {
+      const check::Violation& v = log[i];
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kInvariant;
+      e.cycle = v.cycle;
+      e.quantum = v.cycle / cfg_.adts.quantum_cycles;
+      e.tid = v.tid;
+      e.code = static_cast<std::uint8_t>(v.cls);
+      e.value = v.value;
+      sink_->record(e);
+    }
   }
 
   const bool dt_stalled = injector_.dt_stalled();
@@ -326,6 +361,17 @@ void Simulator::export_metrics(obs::MetricsRegistry& reg) const {
   pipeline::export_metrics(pipe_, reg);
   if (use_adts_) detector_.export_metrics(reg);
   if (injector_.enabled()) injector_.export_metrics(reg);
+  // Only a FAILING checker shows up in the stats document: a clean
+  // checked run must stay byte-identical to an unchecked one.
+  if (check_on_ && !checker_.ok()) {
+    reg.set("check.violations", checker_.violation_count());
+    for (std::size_t c = 0; c < check::kNumInvariantClasses; ++c) {
+      const auto cls = static_cast<check::InvariantClass>(c);
+      if (checker_.count(cls) > 0) {
+        reg.set("check." + std::string(check::name(cls)), checker_.count(cls));
+      }
+    }
+  }
   if (sink_ != nullptr) {
     reg.set("trace.events", static_cast<std::uint64_t>(sink_->size()));
     reg.set("trace.dropped", sink_->dropped());

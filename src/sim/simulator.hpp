@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "core/detector.hpp"
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
@@ -40,6 +41,12 @@ struct SimConfig {
   /// aligned to the ADTS quantum so counter faults hit whole detector
   /// observations.
   fault::FaultConfig fault{};
+
+  /// Runtime invariant checking (src/check/): kAuto defers to the
+  /// SMT_CHECK environment variable, which the SMT_CHECK CMake option
+  /// sets for every ctest run — so tests check by default while release
+  /// binaries stay unchecked unless asked (--check).
+  check::CheckMode check = check::CheckMode::kAuto;
 };
 
 /// Enum-code → display-name callbacks for the trace writers, wired to the
@@ -79,6 +86,19 @@ class Simulator {
   [[nodiscard]] bool adts_enabled() const noexcept { return use_adts_; }
   [[nodiscard]] const fault::FaultInjector& faults() const noexcept {
     return injector_;
+  }
+
+  /// Invariant checking active for this instance? Copies always answer
+  /// false: like the trace sink, checking is dropped on copy — the oracle
+  /// re-runs copies with policies it sets directly, which the legality
+  /// pass would (correctly, for a live machine) flag.
+  [[nodiscard]] bool checking_enabled() const noexcept { return check_on_; }
+  [[nodiscard]] const check::InvariantChecker& checker() const noexcept {
+    return checker_;
+  }
+  /// Test hook: the checker's guard-state baseline (negative tests).
+  [[nodiscard]] check::InvariantChecker& checker_for_testing() noexcept {
+    return checker_;
   }
   /// Attach (or detach, with nullptr) a trace sink. The simulator records
   /// per-quantum machine + thread snapshots and policy-switch / guard /
@@ -133,6 +153,10 @@ class Simulator {
   core::DetectorThread detector_;
   fault::FaultInjector injector_;
   bool use_adts_ = false;
+
+  // --- invariant checking (inert while check_on_ == false) --------------
+  check::InvariantChecker checker_;
+  bool check_on_ = false;  ///< dropped on copy, like sink_
 
   // --- trace instrumentation (inert while sink_ == nullptr) -------------
   obs::TraceSink* sink_ = nullptr;  ///< not owned; dropped on copy

@@ -4,8 +4,7 @@
 // policy, under ADTS, or under the oracle, with the machine knobs
 // exposed as options. Prints a human-readable report or CSV.
 //
-// Exit codes: 0 success, 2 usage error (unknown/malformed option),
-// 3 configuration error (valid syntax, invalid value).
+// Exit codes: common/exit_codes.hpp (documented in --help).
 //
 // Examples:
 //   smtsim --mix int8 --cycles 500000
@@ -19,6 +18,7 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/exit_codes.hpp"
 #include "common/table.hpp"
 #include "core/heuristics.hpp"
 #include "obs/metrics.hpp"
@@ -29,9 +29,6 @@
 #include "workload/mix.hpp"
 
 namespace {
-
-constexpr int kExitUsage = 2;
-constexpr int kExitConfig = 3;
 
 constexpr const char* kUsage = R"(usage: smtsim [options]
 
@@ -81,9 +78,19 @@ observability (normal runs; ignored under --oracle):
 run control:
   --cycles N            cycles to simulate (default 262144)
   --warmup N            warm-up cycles excluded from stats (default 32768)
+  --check               validate microarchitectural invariants every cycle
+                        (src/check/; also enabled by SMT_CHECK=1 in the
+                        environment); violations report on stderr and the
+                        run exits 4
   --csv                 machine-readable output
   --list                list mixes, applications and policies, then exit
   --help                this text
+
+exit codes:
+  0  success
+  2  usage error (unknown or malformed option)
+  3  configuration error (valid syntax, invalid value)
+  4  invariant violations detected (--check / SMT_CHECK=1)
 )";
 
 void list_everything() {
@@ -159,9 +166,9 @@ int main(int argc, char** argv) {
          "fault-noise", "fault-noise-mag", "fault-freeze", "fault-corrupt",
          "fault-dt-stall", "fault-stall-quanta", "fault-drop", "fault-delay",
          "fault-delay-quanta", "fault-blackout", "fault-blackout-cycles",
-         "fault-report", "trace", "trace-format", "stats-json"},
+         "fault-report", "trace", "trace-format", "stats-json", "check"},
         /*flag_keys=*/{"adts", "instant", "guard", "oracle", "all-policies",
-                       "csv", "list", "help", "fault-report"});
+                       "csv", "list", "help", "fault-report", "check"});
     if (args.has("help")) {
       std::cout << kUsage;
       return 0;
@@ -224,6 +231,20 @@ int main(int argc, char** argv) {
     }
     const bool csv = args.has("csv");
 
+    // Invariant checking: explicit --check forces it on; otherwise the
+    // SMT_CHECK environment variable decides (CheckMode::kAuto).
+    cfg.check = args.has("check") ? check::CheckMode::kOn
+                                  : check::CheckMode::kAuto;
+
+    // A failing checker turns an otherwise successful run into exit
+    // code kExitCheck, with the violation report on stderr (stdout stays
+    // reserved for the requested CSV/JSON document).
+    const auto check_exit = [](const sim::Simulator& s) {
+      if (!s.checking_enabled() || s.checker().ok()) return kExitOk;
+      s.checker().write_report(std::cerr);
+      return kExitCheck;
+    };
+
     if (args.has("oracle")) {
       sim::OracleConfig ocfg;
       ocfg.quantum_cycles = quantum;
@@ -246,7 +267,9 @@ int main(int argc, char** argv) {
                     << " quanta\n";
         }
       }
-      return 0;
+      // Only the warm-up of `base` ran checked: the oracle re-runs policy
+      // trials on copies, and copies drop checking by design.
+      return check_exit(base);
     }
 
     if (args.has("adts")) {
@@ -330,10 +353,12 @@ int main(int argc, char** argv) {
 
     if (args.has("fault-report")) {
       sink.write(std::cout, obs::TraceFormat::kCsv, sim::trace_decoder());
-      return 0;
+      return check_exit(sim);
     }
     if (stats_to_stdout) {
-      return 0;  // stdout carries the JSON document; keep it parseable
+      // stdout carries the JSON document; the violation report (if any)
+      // goes to stderr.
+      return check_exit(sim);
     }
 
     const auto& st = sim.pipeline().stats();
@@ -347,7 +372,7 @@ int main(int argc, char** argv) {
                 << st.fetched_wrong_path << ','
                 << sim.detector().guard().stats().reverts << ','
                 << sim.detector().guard().stats().safe_mode_entries << '\n';
-      return 0;
+      return check_exit(sim);
     }
 
     std::cout << (cfg.use_adts
@@ -383,7 +408,7 @@ int main(int argc, char** argv) {
                 << gs.safe_mode_entries << " safe-mode entries ("
                 << gs.safe_mode_quanta << " quanta pinned)\n";
     }
-    return 0;
+    return check_exit(sim);
   } catch (const UsageError& e) {
     std::cerr << "smtsim: " << e.what() << "\n\n" << kUsage;
     return kExitUsage;

@@ -76,7 +76,10 @@ TEST(FixedQueue, FrontAndBackAccessors) {
   q.push_back("b");
   EXPECT_EQ(q.front(), "a");
   EXPECT_EQ(q.back(), "b");
-  q.front() = "x";
+  // A std::string temporary (move assignment) rather than a const char*:
+  // the in-place char copy of operator=(const char*) trips GCC 12's
+  // spurious -Wrestrict at -O3 (GCC bug 105329) under -Werror.
+  q.front() = std::string("x");
   EXPECT_EQ(q.pop_front(), "x");
 }
 

@@ -1,0 +1,341 @@
+// Tests: runtime invariant checker (src/check/invariants.hpp).
+//
+// Positive direction: checked runs of clean, faulted, swapped and
+// externally-stepped simulators report zero violations, and checking is
+// a pure observation (bit-identical machine statistics with the checker
+// on vs. off). Negative direction: every invariant class has a test that
+// corrupts the corresponding bookkeeping through the pipeline's
+// test-only hooks and asserts the class actually fires — a checker that
+// cannot fail would prove nothing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "check/invariants.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/simulator.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/mix.hpp"
+#include "workload/thread_program.hpp"
+
+namespace smt {
+namespace {
+
+using check::CheckMode;
+using check::InvariantClass;
+using core::GuardState;
+
+sim::SimConfig checked_config(const char* mix = "bal1", std::size_t threads = 4,
+                              CheckMode mode = CheckMode::kOn) {
+  sim::SimConfig cfg = sim::make_config(workload::mix(mix), threads, 1);
+  cfg.check = mode;
+  return cfg;
+}
+
+// --- pure predicates -------------------------------------------------------
+
+TEST(GuardTransitionLegal, MatchesDocumentedStateMachine) {
+  const auto legal = [](GuardState f, GuardState t) {
+    return check::guard_transition_legal(f, t);
+  };
+  for (const GuardState s : {GuardState::kArmed, GuardState::kReverting,
+                             GuardState::kSafeMode, GuardState::kCooldown}) {
+    EXPECT_TRUE(legal(s, s));  // self-loops
+  }
+  EXPECT_TRUE(legal(GuardState::kArmed, GuardState::kReverting));
+  EXPECT_TRUE(legal(GuardState::kArmed, GuardState::kSafeMode));
+  EXPECT_TRUE(legal(GuardState::kReverting, GuardState::kArmed));
+  EXPECT_TRUE(legal(GuardState::kReverting, GuardState::kSafeMode));
+  EXPECT_TRUE(legal(GuardState::kSafeMode, GuardState::kCooldown));
+  EXPECT_TRUE(legal(GuardState::kCooldown, GuardState::kArmed));
+  EXPECT_TRUE(legal(GuardState::kCooldown, GuardState::kSafeMode));
+
+  EXPECT_FALSE(legal(GuardState::kArmed, GuardState::kCooldown));
+  EXPECT_FALSE(legal(GuardState::kReverting, GuardState::kCooldown));
+  EXPECT_FALSE(legal(GuardState::kSafeMode, GuardState::kArmed));
+  EXPECT_FALSE(legal(GuardState::kSafeMode, GuardState::kReverting));
+  EXPECT_FALSE(legal(GuardState::kCooldown, GuardState::kReverting));
+}
+
+TEST(InvariantClassNames, AllDistinctAndDecodable) {
+  for (std::size_t c = 0; c < check::kNumInvariantClasses; ++c) {
+    const auto cls = static_cast<InvariantClass>(c);
+    EXPECT_NE(check::name(cls), "unknown");
+    EXPECT_EQ(check::invariant_class_name(static_cast<std::uint8_t>(c)),
+              check::name(cls));
+  }
+  EXPECT_EQ(check::invariant_class_name(250), "unknown");
+}
+
+TEST(CheckEnabled, ExplicitModesIgnoreEnvironment) {
+  EXPECT_TRUE(check::check_enabled(CheckMode::kOn));
+  EXPECT_FALSE(check::check_enabled(CheckMode::kOff));
+}
+
+TEST(CheckEnabled, AutoModeReadsSmtCheckVariable) {
+  const char* saved = std::getenv("SMT_CHECK");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ::setenv("SMT_CHECK", "1", 1);
+  EXPECT_TRUE(check::check_enabled(CheckMode::kAuto));
+  ::setenv("SMT_CHECK", "on", 1);
+  EXPECT_TRUE(check::check_enabled(CheckMode::kAuto));
+  ::setenv("SMT_CHECK", "0", 1);
+  EXPECT_FALSE(check::check_enabled(CheckMode::kAuto));
+  ::unsetenv("SMT_CHECK");
+  EXPECT_FALSE(check::check_enabled(CheckMode::kAuto));
+
+  if (saved != nullptr) {
+    ::setenv("SMT_CHECK", saved_value.c_str(), 1);
+  }
+}
+
+// --- positive runs ---------------------------------------------------------
+
+TEST(InvariantChecker, CleanFixedPolicyRunHasNoViolations) {
+  sim::Simulator s(checked_config());
+  ASSERT_TRUE(s.checking_enabled());
+  s.run(20000);
+  EXPECT_TRUE(s.checker().ok()) << s.checker().violation_count()
+                                << " violations";
+  EXPECT_EQ(s.checker().violation_count(), 0u);
+}
+
+TEST(InvariantChecker, CleanFaultedAdtsGuardRunHasNoViolations) {
+  // Faults perturb only the *observed* counter view, never architectural
+  // state, so every invariant must keep holding under heavy injection.
+  sim::SimConfig cfg = checked_config("mem8", 8);
+  cfg.use_adts = true;
+  cfg.adts.quantum_cycles = 1024;
+  cfg.adts.guard.enabled = true;
+  cfg.fault.enabled = true;
+  cfg.fault.counter_corrupt_prob = 0.4;
+  cfg.fault.dt_stall_prob = 0.3;
+  cfg.fault.blackout_prob = 0.3;
+  sim::Simulator s(cfg);
+  s.run(16 * 1024);
+  EXPECT_TRUE(s.checker().ok()) << s.checker().violation_count()
+                                << " violations";
+}
+
+TEST(InvariantChecker, CheckedRunIsBitIdenticalToUnchecked) {
+  sim::SimConfig on = checked_config("ctrl8", 8, CheckMode::kOn);
+  on.use_adts = true;
+  on.adts.quantum_cycles = 2048;
+  sim::SimConfig off = on;
+  off.check = CheckMode::kOff;
+
+  sim::Simulator a(on);
+  sim::Simulator b(off);
+  ASSERT_TRUE(a.checking_enabled());
+  ASSERT_FALSE(b.checking_enabled());
+  a.run(6 * 2048);
+  b.run(6 * 2048);
+
+  const pipeline::PipelineStats& sa = a.pipeline().stats();
+  const pipeline::PipelineStats& sb = b.pipeline().stats();
+  EXPECT_EQ(sa.cycles, sb.cycles);
+  EXPECT_EQ(sa.committed, sb.committed);
+  EXPECT_EQ(sa.fetched, sb.fetched);
+  EXPECT_EQ(sa.fetched_wrong_path, sb.fetched_wrong_path);
+  EXPECT_EQ(sa.squashed, sb.squashed);
+  EXPECT_EQ(sa.mispredicts, sb.mispredicts);
+  EXPECT_EQ(sa.fetch_slots_idle, sb.fetch_slots_idle);
+  EXPECT_EQ(sa.dt_slots_used, sb.dt_slots_used);
+  EXPECT_EQ(a.detector().stats().switches, b.detector().stats().switches);
+  EXPECT_TRUE(a.checker().ok());
+}
+
+TEST(InvariantChecker, CopiesDropChecking) {
+  sim::Simulator original(checked_config());
+  original.run(500);
+  ASSERT_TRUE(original.checking_enabled());
+
+  // The oracle's exact pattern: copy, set a policy directly, re-run. The
+  // copy must not check (a live machine would flag the direct set), and
+  // the original's checker must stay clean and attached.
+  sim::Simulator copy = original;
+  EXPECT_FALSE(copy.checking_enabled());
+  copy.pipeline().set_policy(policy::FetchPolicy::kBrcount);
+  copy.run(500);
+  EXPECT_TRUE(copy.checker().ok());
+
+  sim::Simulator assigned(checked_config());
+  assigned = original;
+  EXPECT_FALSE(assigned.checking_enabled());
+
+  original.run(500);
+  EXPECT_TRUE(original.checking_enabled());
+  EXPECT_TRUE(original.checker().ok());
+}
+
+TEST(InvariantChecker, ContextSwitchOnLiveSimulatorIsNotFlagged) {
+  // The job scheduler swaps programs on a live pipeline between steps;
+  // the life-epoch skip must keep that from reading as corruption.
+  sim::Simulator s(checked_config());
+  s.run(3000);
+  workload::ThreadProgram incoming(workload::profile("mcf"), 1, 99);
+  workload::ThreadProgram outgoing =
+      s.pipeline().swap_program(1, std::move(incoming), 200);
+  (void)outgoing;
+  s.run(3000);
+  EXPECT_TRUE(s.checker().ok()) << s.checker().violation_count()
+                                << " violations";
+}
+
+TEST(InvariantChecker, ExternallySteppedPipelineGapIsTolerated) {
+  // Stepping the pipeline directly bypasses the checker; the next checked
+  // step sees a multi-cycle gap and must stretch its span laws over it.
+  sim::Simulator s(checked_config());
+  s.run(100);
+  s.pipeline().run(500);
+  s.run(100);
+  EXPECT_TRUE(s.checker().ok()) << s.checker().violation_count()
+                                << " violations";
+}
+
+// --- negative tests: every invariant class fires ---------------------------
+
+TEST(InvariantNegative, ResourceConservationFires) {
+  sim::Simulator s(checked_config());
+  s.run(100);
+  s.pipeline().testing_corrupt_icount(0, 3);
+  s.step();
+  EXPECT_FALSE(s.checker().ok());
+  EXPECT_GE(s.checker().count(InvariantClass::kResourceConservation), 1u);
+}
+
+TEST(InvariantNegative, SlotConservationFires) {
+  sim::Simulator s(checked_config());
+  s.run(100);
+  s.pipeline().testing_corrupt_stall_ledger(5);
+  s.step();
+  EXPECT_FALSE(s.checker().ok());
+  EXPECT_GE(s.checker().count(InvariantClass::kSlotConservation), 1u);
+}
+
+TEST(InvariantNegative, CommitOrderFiresOnGlobalCounterDrift) {
+  sim::Simulator s(checked_config());
+  s.run(100);
+  s.pipeline().testing_corrupt_committed(10);
+  s.step();
+  EXPECT_FALSE(s.checker().ok());
+  EXPECT_GE(s.checker().count(InvariantClass::kCommitOrder), 1u);
+}
+
+TEST(InvariantNegative, CommitOrderFiresOnHeadSeqDrift) {
+  sim::Simulator s(checked_config());
+  s.run(100);
+  s.pipeline().testing_corrupt_head_seq(0, 5);
+  s.step();
+  EXPECT_FALSE(s.checker().ok());
+  EXPECT_GE(s.checker().count(InvariantClass::kCommitOrder), 1u);
+}
+
+TEST(InvariantNegative, CommitOrderFiresOnWindowSeqGap) {
+  sim::Simulator s(checked_config());
+  s.run(300);
+  // The window can be transiently empty (mid-squash); step until it isn't.
+  bool corrupted = false;
+  for (int attempt = 0; attempt < 200 && !corrupted; ++attempt) {
+    corrupted = s.pipeline().testing_corrupt_window_seq(0);
+    if (!corrupted) s.step();
+  }
+  ASSERT_TRUE(corrupted) << "window stayed empty for 200 cycles";
+  s.step();
+  EXPECT_FALSE(s.checker().ok());
+  EXPECT_GE(s.checker().count(InvariantClass::kCommitOrder), 1u);
+}
+
+TEST(InvariantNegative, CounterEpochFiresOnImplausibleSample) {
+  sim::Simulator s(checked_config());
+  s.run(100);
+  s.pipeline().testing_corrupt_quantum_counter(0, std::uint64_t{1} << 40);
+  s.step();
+  EXPECT_FALSE(s.checker().ok());
+  EXPECT_GE(s.checker().count(InvariantClass::kCounterEpoch), 1u);
+}
+
+TEST(InvariantNegative, CounterEpochFiresOnRewoundEpoch) {
+  sim::SimConfig cfg = checked_config();
+  cfg.use_adts = true;
+  cfg.adts.quantum_cycles = 1024;
+  sim::Simulator s(cfg);
+  s.run(2 * 1024 + 10);  // past two boundaries: epochs are > 0 and settled
+  s.pipeline().testing_rewind_quantum_epoch(0);
+  s.step();
+  EXPECT_FALSE(s.checker().ok());
+  EXPECT_GE(s.checker().count(InvariantClass::kCounterEpoch), 1u);
+}
+
+TEST(InvariantNegative, GuardTransitionFires) {
+  sim::Simulator s(checked_config());
+  s.run(100);
+  // Fabricate a SAFE_MODE baseline: the live guard reads ARMED, so the
+  // checker observes an illegal SAFE_MODE -> ARMED edge, off-boundary.
+  s.checker_for_testing().testing_set_prev_guard_state(GuardState::kSafeMode);
+  s.step();
+  EXPECT_FALSE(s.checker().ok());
+  EXPECT_GE(s.checker().count(InvariantClass::kGuardTransition), 1u);
+}
+
+TEST(InvariantNegative, PolicySwitchFires) {
+  sim::Simulator s(checked_config());  // ADTS off: policy must stay fixed
+  s.run(100);
+  s.pipeline().set_policy(policy::FetchPolicy::kBrcount);
+  s.step();
+  EXPECT_FALSE(s.checker().ok());
+  EXPECT_GE(s.checker().count(InvariantClass::kPolicySwitch), 1u);
+}
+
+// --- diagnostics -----------------------------------------------------------
+
+TEST(InvariantChecker, ViolationsCarryContextAndReportRenders) {
+  sim::Simulator s(checked_config());
+  s.run(100);
+  s.pipeline().testing_corrupt_stall_ledger(7);
+  s.step();
+  ASSERT_FALSE(s.checker().violations().empty());
+  const check::Violation& v = s.checker().violations().front();
+  EXPECT_EQ(v.cls, InvariantClass::kSlotConservation);
+  EXPECT_GT(v.cycle, 0u);
+  EXPECT_NE(std::string(v.detail), "");
+
+  std::ostringstream os;
+  s.checker().write_report(os);
+  const std::string report = os.str();
+  EXPECT_NE(report.find("slot_conservation"), std::string::npos);
+  EXPECT_NE(report.find("FAILED"), std::string::npos);
+}
+
+TEST(InvariantChecker, CleanReportIsEmpty) {
+  sim::Simulator s(checked_config());
+  s.run(100);
+  std::ostringstream os;
+  s.checker().write_report(os);
+  EXPECT_EQ(os.str(), "");
+}
+
+TEST(InvariantChecker, ViolationsEmitTraceEvents) {
+  sim::Simulator s(checked_config());
+  obs::TraceSink sink;
+  s.attach_trace(&sink);
+  s.run(100);
+  s.pipeline().testing_corrupt_icount(0, 2);
+  s.step();
+  bool found = false;
+  for (const obs::TraceEvent& e : sink.snapshot()) {
+    if (e.kind == obs::EventKind::kInvariant) {
+      EXPECT_EQ(e.code, static_cast<std::uint8_t>(
+                            InvariantClass::kResourceConservation));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  s.attach_trace(nullptr);
+}
+
+}  // namespace
+}  // namespace smt
