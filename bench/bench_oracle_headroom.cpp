@@ -13,7 +13,19 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "par/thread_pool.hpp"
 #include "sim/experiment.hpp"
+
+namespace {
+
+/// Everything one mix contributes to the table.
+struct MixRow {
+  double fixed_ipc = 0.0;
+  smt::sim::OracleResult r3;
+  smt::sim::OracleResult r10;
+};
+
+}  // namespace
 
 int main() {
   using namespace smt;
@@ -32,35 +44,47 @@ int main() {
   sim::OracleConfig o10;
   o10.candidates = policy::all_policies();
 
-  for (const auto& mname : mixes) {
-    const workload::Mix& mix = workload::mix(mname);
+  // One task per mix (baseline + both oracles); the grain is the mix, so
+  // the inner oracle runs serially rather than nesting pools.
+  par::ThreadPool pool(scale.jobs);
+  sim::ExperimentScale inner = scale;
+  inner.jobs = 1;
+  const std::vector<MixRow> rows =
+      par::parallel_map(pool, mixes.size(), [&](std::size_t m) {
+        const workload::Mix& mix = workload::mix(mixes[m]);
+        MixRow row;
 
-    // Fixed ICOUNT over exactly the oracle's cycle span and intervals.
-    double fixed_committed = 0;
-    double fixed_cycles = 0;
-    for (std::uint32_t i = 0; i < scale.oracle_intervals; ++i) {
-      sim::SimConfig cfg = sim::make_config(mix, 8, scale.base_seed);
-      cfg.workload_seed = mix64(scale.base_seed ^ (0x1417ull + i * 0x9e37ull));
-      sim::Simulator s(cfg);
-      s.run(scale.plan.warmup_cycles);
-      const std::uint64_t c0 = s.committed();
-      s.run(scale.oracle_quanta * o3.quantum_cycles);
-      fixed_committed += static_cast<double>(s.committed() - c0);
-      fixed_cycles +=
-          static_cast<double>(scale.oracle_quanta * o3.quantum_cycles);
-    }
-    const double fixed_ipc = fixed_committed / fixed_cycles;
+        // Fixed ICOUNT over exactly the oracle's cycle span and intervals.
+        double fixed_committed = 0;
+        double fixed_cycles = 0;
+        for (std::uint32_t i = 0; i < scale.oracle_intervals; ++i) {
+          sim::SimConfig cfg = sim::make_config(mix, 8, scale.base_seed);
+          cfg.workload_seed =
+              mix64(scale.base_seed ^ (0x1417ull + i * 0x9e37ull));
+          sim::Simulator s(cfg);
+          s.run(scale.plan.warmup_cycles);
+          const std::uint64_t c0 = s.committed();
+          s.run(scale.oracle_quanta * o3.quantum_cycles);
+          fixed_committed += static_cast<double>(s.committed() - c0);
+          fixed_cycles +=
+              static_cast<double>(scale.oracle_quanta * o3.quantum_cycles);
+        }
+        row.fixed_ipc = fixed_committed / fixed_cycles;
+        row.r3 = sim::run_oracle_on_mix(mix, 8, inner, o3);
+        row.r10 = sim::run_oracle_on_mix(mix, 8, inner, o10);
+        return row;
+      });
 
-    const sim::OracleResult r3 = sim::run_oracle_on_mix(mix, 8, scale, o3);
-    const sim::OracleResult r10 = sim::run_oracle_on_mix(mix, 8, scale, o10);
-    const double h3 = 100.0 * (r3.ipc() / fixed_ipc - 1.0);
-    const double h10 = 100.0 * (r10.ipc() / fixed_ipc - 1.0);
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    const MixRow& row = rows[m];
+    const double h3 = 100.0 * (row.r3.ipc() / row.fixed_ipc - 1.0);
+    const double h10 = 100.0 * (row.r10.ipc() / row.fixed_ipc - 1.0);
     head3.push_back(h3);
     head10.push_back(h10);
 
-    t.add_row({mname, Table::num(fixed_ipc), Table::num(r3.ipc()),
-               Table::num(r10.ipc()), Table::num(h3, 1) + "%",
-               Table::num(h10, 1) + "%", std::to_string(r10.switches)});
+    t.add_row({mixes[m], Table::num(row.fixed_ipc), Table::num(row.r3.ipc()),
+               Table::num(row.r10.ipc()), Table::num(h3, 1) + "%",
+               Table::num(h10, 1) + "%", std::to_string(row.r10.switches)});
   }
   t.print(std::cout);
 

@@ -1,0 +1,181 @@
+// Host-throughput benchmark: how fast does the simulator simulate?
+//
+// Three measurements, all on host wall-clock (std::chrono::steady_clock —
+// allowed in bench/, see scripts/check_lint.sh):
+//
+//   1. single-run: one serial simulation, reported as host kilo-cycles
+//      per second and sim-MIPS (simulated committed instructions per
+//      host second). This is the number the pipeline hot-path work moves.
+//   2. sweep: the Fig. 7/8 (heuristic × threshold × mix) grid, serial vs
+//      SMT_JOBS workers, with the two grids compared cell-by-cell.
+//   3. oracle: run_oracle on one mix, jobs=1 vs jobs=N, results compared
+//      field-by-field.
+//
+// The parallel/serial comparisons are the determinism contract's teeth:
+// any mismatch prints the offending block and the process exits 1.
+//
+// Usage: bench_sim_throughput [--json]
+//   --json            machine-readable document on stdout (consumed by
+//                     scripts/run_perf_suite.sh -> BENCH_perf.json)
+//   SMT_BENCH_SCALE   quick | default | full (run length)
+//   SMT_JOBS          workers for the parallel passes (default: host cores)
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/table.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Workers for the parallel passes: SMT_JOBS if set, else all host cores.
+std::size_t bench_jobs() {
+  const std::size_t env = smt::par::default_jobs();
+  if (env > 1) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw : 1;
+}
+
+/// Simulated cycles for the single-run measurement, per scale.
+std::uint64_t single_run_cycles() {
+  const char* env = std::getenv("SMT_BENCH_SCALE");
+  const std::string_view mode = env ? env : "default";
+  if (mode == "quick") return 512 * 1024;
+  if (mode == "full") return 4 * 1024 * 1024;
+  return 2 * 1024 * 1024;
+}
+
+bool grids_equal(const smt::sim::SweepGrid& a, const smt::sim::SweepGrid& b) {
+  if (a.icount_baseline_ipc != b.icount_baseline_ipc ||
+      a.cells.size() != b.cells.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    if (a.cells[i].ipc != b.cells[i].ipc ||
+        a.cells[i].switches != b.cells[i].switches ||
+        a.cells[i].benign_prob != b.cells[i].benign_prob ||
+        a.cells[i].low_quanta_frac != b.cells[i].low_quanta_frac) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool oracles_equal(const smt::sim::OracleResult& a,
+                   const smt::sim::OracleResult& b) {
+  return a.cycles == b.cycles && a.committed == b.committed &&
+         a.switches == b.switches &&
+         a.quanta_per_policy == b.quanta_per_policy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smt;
+  const bool json = argc > 1 && std::string_view(argv[1]) == "--json";
+  const std::size_t jobs = bench_jobs();
+
+  sim::ExperimentScale serial = sim::ExperimentScale::from_env();
+  serial.jobs = 1;
+  sim::ExperimentScale parallel = serial;
+  parallel.jobs = jobs;
+
+  // --- 1. serial single-run throughput ------------------------------------
+  const std::uint64_t cycles = single_run_cycles();
+  const char* mix_name = "ilp8";
+  sim::SimConfig cfg =
+      sim::make_config(workload::mix(mix_name), 8, serial.base_seed);
+  sim::Simulator sim(cfg);
+  sim.run(serial.plan.warmup_cycles);
+  const std::uint64_t c0 = sim.committed();
+
+  const Clock::time_point t_single = Clock::now();
+  sim.run(cycles);
+  const double single_s = seconds_since(t_single);
+  const double kcps = static_cast<double>(cycles) / 1e3 / single_s;
+  const double sim_mips =
+      static_cast<double>(sim.committed() - c0) / 1e6 / single_s;
+
+  // --- 2. Fig. 7/8 sweep, serial vs parallel ------------------------------
+  const Clock::time_point t_sweep1 = Clock::now();
+  const sim::SweepGrid grid1 = sim::run_fig78_sweep(serial);
+  const double sweep_serial_s = seconds_since(t_sweep1);
+
+  const Clock::time_point t_sweepn = Clock::now();
+  const sim::SweepGrid gridn = sim::run_fig78_sweep(parallel);
+  const double sweep_par_s = seconds_since(t_sweepn);
+  const bool sweep_ok = grids_equal(grid1, gridn);
+
+  // --- 3. oracle, jobs=1 vs jobs=N ----------------------------------------
+  sim::OracleConfig ocfg;
+  sim::Simulator base(cfg);
+  base.run(serial.plan.warmup_cycles);
+
+  const Clock::time_point t_oracle1 = Clock::now();
+  const sim::OracleResult r1 =
+      sim::run_oracle(base, serial.oracle_quanta, ocfg, 1);
+  const double oracle_serial_s = seconds_since(t_oracle1);
+
+  const Clock::time_point t_oraclen = Clock::now();
+  const sim::OracleResult rn =
+      sim::run_oracle(base, serial.oracle_quanta, ocfg, jobs);
+  const double oracle_par_s = seconds_since(t_oraclen);
+  const bool oracle_ok = oracles_equal(r1, rn);
+
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  if (json) {
+    std::cout.precision(6);
+    std::cout << "{\n\"suite\": \"perf\",\n"
+              << "\"host_cores\": " << host_cores << ",\n"
+              << "\"jobs\": " << jobs << ",\n"
+              << "\"single_run\": {\"mix\": \"" << mix_name
+              << "\", \"cycles\": " << cycles << ", \"seconds\": " << single_s
+              << ", \"host_kcycles_per_sec\": " << kcps
+              << ", \"sim_mips\": " << sim_mips << "},\n"
+              << "\"sweep\": {\"serial_seconds\": " << sweep_serial_s
+              << ", \"parallel_seconds\": " << sweep_par_s
+              << ", \"speedup\": " << sweep_serial_s / sweep_par_s
+              << ", \"identical\": " << (sweep_ok ? "true" : "false")
+              << "},\n"
+              << "\"oracle\": {\"serial_seconds\": " << oracle_serial_s
+              << ", \"parallel_seconds\": " << oracle_par_s
+              << ", \"speedup\": " << oracle_serial_s / oracle_par_s
+              << ", \"identical\": " << (oracle_ok ? "true" : "false")
+              << "}\n}\n";
+  } else {
+    print_banner(std::cout, "Simulator host throughput (wall-clock)");
+    std::cout << "host cores " << host_cores << ", parallel jobs " << jobs
+              << "\n\n"
+              << "single run (" << mix_name << ", " << cycles
+              << " cycles, serial): " << Table::num(kcps, 0)
+              << " kcycles/s, " << Table::num(sim_mips, 2) << " sim-MIPS\n"
+              << "fig7/8 sweep: serial " << Table::num(sweep_serial_s, 2)
+              << "s, " << jobs << " jobs " << Table::num(sweep_par_s, 2)
+              << "s (speedup " << Table::num(sweep_serial_s / sweep_par_s, 2)
+              << "x, results " << (sweep_ok ? "identical" : "DIFFER")
+              << ")\n"
+              << "oracle: serial " << Table::num(oracle_serial_s, 2) << "s, "
+              << jobs << " jobs " << Table::num(oracle_par_s, 2)
+              << "s (speedup "
+              << Table::num(oracle_serial_s / oracle_par_s, 2)
+              << "x, results " << (oracle_ok ? "identical" : "DIFFER")
+              << ")\n";
+  }
+
+  if (!sweep_ok || !oracle_ok) {
+    std::cerr << "bench_sim_throughput: parallel results DIFFER from serial "
+                 "(determinism contract violated)\n";
+    return 1;
+  }
+  return 0;
+}

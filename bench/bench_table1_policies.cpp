@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "par/thread_pool.hpp"
 #include "sim/experiment.hpp"
 
 int main() {
@@ -31,13 +32,23 @@ int main() {
   std::map<policy::FetchPolicy, std::vector<double>> per_policy;
   std::map<policy::FetchPolicy, int> wins;
 
-  for (const auto& mname : mixes) {
-    std::vector<std::string> row{mname};
+  // The (mix × policy) grid is independent runs; fan it across the pool
+  // (policy-fastest, matching the serial loop order) and reduce serially.
+  par::ThreadPool pool(scale.jobs);
+  const std::vector<double> grid = par::parallel_map(
+      pool, mixes.size() * policies.size(), [&](std::size_t idx) {
+        return sim::run_fixed(workload::mix(mixes[idx / policies.size()]),
+                              policies[idx % policies.size()], 8, scale)
+            .ipc();
+      });
+
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    std::vector<std::string> row{mixes[m]};
     policy::FetchPolicy best = policies.front();
     double best_ipc = -1.0;
-    for (auto p : policies) {
-      const double ipc =
-          sim::run_fixed(workload::mix(mname), p, 8, scale).ipc();
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      const policy::FetchPolicy p = policies[pi];
+      const double ipc = grid[m * policies.size() + pi];
       per_policy[p].push_back(ipc);
       row.push_back(Table::num(ipc));
       if (ipc > best_ipc) {

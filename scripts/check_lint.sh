@@ -8,7 +8,10 @@
 #
 #   1. No ambient nondeterminism: rand()/srand()/random_device, wall or
 #      steady clocks, time(). All randomness flows through common/rng.hpp,
-#      seeded from the run configuration.
+#      seeded from the run configuration. bench/ is held to the same rule
+#      with one narrow allowance: std::chrono::steady_clock, because
+#      wall-clock throughput is what a benchmark measures — timing may
+#      never feed back into simulated results.
 #   2. No unordered containers: their iteration order is
 #      implementation-defined, which silently varies results across
 #      standard libraries. Use std::map/std::vector/FixedQueue.
@@ -16,6 +19,10 @@
 #      paths must not touch streams; all human output lives in the CLI
 #      driver (src/tools/) and in explicit writers taking an ostream&.
 #   4. Every header carries #pragma once.
+#   5. No thread primitives (std::thread, mutexes, condition variables,
+#      atomics) outside src/par/ and bench/: src/par/thread_pool is the
+#      single place library code may touch concurrency, so the
+#      determinism argument stays one file long.
 #
 # Usage: scripts/check_lint.sh        (exit 0 clean, 1 violations)
 set -uo pipefail
@@ -35,12 +42,21 @@ complain() {
 mapfile -t lib_files < <(find src -name '*.cpp' -o -name '*.hpp' \
   | grep -v '^src/tools/' | sort)
 mapfile -t headers < <(find src -name '*.hpp' | sort)
+mapfile -t bench_files < <(find bench -name '*.cpp' -o -name '*.hpp' | sort)
 
 # --- 1. ambient nondeterminism --------------------------------------------
 bad=$(grep -nE '\b(srand|random_device|system_clock|steady_clock|high_resolution_clock)\b|[^_[:alnum:]]rand\(|std::time\(|\btime\(NULL\)|\btime\(0\)' \
   "${lib_files[@]}" /dev/null | grep -vE '^\S+:[0-9]+:\s*(//|\*)' || true)
 if [ -n "$bad" ]; then
   complain "ambient nondeterminism (use common/rng.hpp, cfg-seeded):" "$bad"
+fi
+
+# Benches may time themselves (steady_clock) but get no other ambient
+# nondeterminism — their simulated results must replay exactly too.
+bad=$(grep -nE '\b(srand|random_device|system_clock|high_resolution_clock)\b|[^_[:alnum:]]rand\(|std::time\(|\btime\(NULL\)|\btime\(0\)' \
+  "${bench_files[@]}" /dev/null | grep -vE '^\S+:[0-9]+:\s*(//|\*)' || true)
+if [ -n "$bad" ]; then
+  complain "ambient nondeterminism in bench/ (steady_clock only):" "$bad"
 fi
 
 # --- 2. unordered containers ----------------------------------------------
@@ -64,8 +80,18 @@ if [ -n "$bad" ]; then
   complain "header without #pragma once:" "$bad"
 fi
 
+# --- 5. thread primitives outside src/par/ ---------------------------------
+mapfile -t no_thread_files < <(printf '%s\n' "${lib_files[@]}" \
+  | grep -v '^src/par/')
+bad=$(grep -nE '#include <(thread|mutex|condition_variable|atomic|future|shared_mutex|stop_token|barrier|latch|semaphore)>|std::(thread|jthread|mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable|atomic|future|promise|barrier|latch)\b' \
+  "${no_thread_files[@]}" /dev/null \
+  | grep -vE '^\S+:[0-9]+:\s*(//|\*)' || true)
+if [ -n "$bad" ]; then
+  complain "thread primitive outside src/par/ (use par::ThreadPool):" "$bad"
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "check_lint: FAILED" >&2
   exit 1
 fi
-echo "check_lint: OK (${#lib_files[@]} library files, ${#headers[@]} headers)"
+echo "check_lint: OK (${#lib_files[@]} library files, ${#headers[@]} headers, ${#bench_files[@]} bench files)"

@@ -12,6 +12,9 @@
 #   BENCH_CYCLES  measured cycles per run (default: 65536)
 #   BENCH_WARMUP  warm-up cycles per run (default: 8192)
 #   SMT_BENCH_SCALE=quick|full  forwarded to the bench binaries
+#   SMT_JOBS      concurrency: worker threads inside the bench binaries and
+#                 concurrent smtsim processes in the per-mix sweep (default
+#                 1; every output is bit-identical for any value)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -33,18 +36,32 @@ for bench in bench_fig8_ipc bench_fig7_switching; do
   "$build/bench/$bench"
 done
 
-echo "== per-mix --stats-json sweep ($cycles cycles + $warmup warm-up)"
+jobs_n="${SMT_JOBS:-1}"
+case "$jobs_n" in
+  ''|*[!0-9]*|0) echo "run_bench_suite: SMT_JOBS must be >= 1" >&2; exit 2 ;;
+esac
+
+echo "== per-mix --stats-json sweep ($cycles cycles + $warmup warm-up," \
+  "$jobs_n jobs)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
+# Each mix is an independent process pair; fan them out bounded by SMT_JOBS
+# and assemble the JSON serially afterwards, in the fixed --list order.
 mixes="$("$smtsim" --list | sed -n 's/^  \([a-z0-9]*\) —.*/\1/p')"
 for mix in $mixes; do
-  "$smtsim" --mix "$mix" --cycles "$cycles" --warmup "$warmup" \
-    --stats-json "$tmp/$mix.fixed.json" >/dev/null
-  "$smtsim" --mix "$mix" --adts --cycles "$cycles" --warmup "$warmup" \
-    --stats-json "$tmp/$mix.adts.json" >/dev/null
-  echo "   $mix"
+  # `|| true`: a failed run surfaces as a missing JSON file during
+  # assembly, not as a bare abort of the fan-out loop.
+  while [ "$(jobs -rp | wc -l)" -ge "$jobs_n" ]; do wait -n || true; done
+  (
+    "$smtsim" --mix "$mix" --cycles "$cycles" --warmup "$warmup" \
+      --stats-json "$tmp/$mix.fixed.json" >/dev/null
+    "$smtsim" --mix "$mix" --adts --cycles "$cycles" --warmup "$warmup" \
+      --stats-json "$tmp/$mix.adts.json" >/dev/null
+    echo "   $mix"
+  ) &
 done
+wait
 
 {
   printf '{\n"suite": "adts",\n"cycles": %s,\n"warmup": %s,\n"mixes": {\n' \

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Host-performance suite: throughput numbers + parallel-identity gates.
+#
+# 1. Asserts the determinism contract end-to-end at the CLI: an oracle run
+#    with --jobs 1 must be byte-identical to the same run with --jobs 8,
+#    and a 4-way-concurrent run_bench_suite.sh sweep must reproduce the
+#    committed BENCH_adts.json byte-for-byte (skipped with a note if the
+#    suite has not been regenerated for this tree).
+# 2. Runs bench_sim_throughput --json (single-run kcycles/s + sim-MIPS,
+#    sweep and oracle serial-vs-parallel wall-clock with built-in identity
+#    checks) and writes the document to BENCH_perf.json.
+#
+# Usage: scripts/run_perf_suite.sh [output.json]
+#   BUILD_DIR        build tree (default: build)
+#   SMT_BENCH_SCALE  quick | default | full (default: quick)
+#   SMT_JOBS         workers for the parallel passes (default: host cores)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+out="${1:-$repo/BENCH_perf.json}"
+smtsim="$build/src/smtsim"
+bench="$build/bench/bench_sim_throughput"
+export SMT_BENCH_SCALE="${SMT_BENCH_SCALE:-quick}"
+
+for bin in "$smtsim" "$bench"; do
+  if [ ! -x "$bin" ]; then
+    echo "run_perf_suite: $bin not built" >&2
+    exit 2
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== oracle identity: --jobs 1 vs --jobs 8"
+common=(--mix bal1 --oracle --quanta 6 --cycles 65536 --warmup 8192 --csv)
+"$smtsim" "${common[@]}" --jobs 1 > "$tmp/oracle.j1.csv"
+"$smtsim" "${common[@]}" --jobs 8 > "$tmp/oracle.j8.csv"
+cmp "$tmp/oracle.j1.csv" "$tmp/oracle.j8.csv"
+
+echo "== sweep identity: SMT_JOBS=4 run_bench_suite vs committed"
+if [ -f "$repo/BENCH_adts.json" ]; then
+  SMT_JOBS=4 "$repo/scripts/run_bench_suite.sh" "$tmp/bench_adts.json" \
+    >/dev/null
+  if cmp "$tmp/bench_adts.json" "$repo/BENCH_adts.json"; then
+    echo "   byte-identical to committed BENCH_adts.json"
+  else
+    echo "run_perf_suite: concurrent sweep differs from committed" \
+      "BENCH_adts.json — regenerate it if the simulator changed" >&2
+    exit 1
+  fi
+else
+  echo "   BENCH_adts.json not present; skipped"
+fi
+
+echo "== bench_sim_throughput (SMT_BENCH_SCALE=$SMT_BENCH_SCALE)"
+"$bench" --json > "$out"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
+  echo "== $out valid JSON"
+else
+  echo "== $out written (python3 unavailable; skipped validation)"
+fi

@@ -39,7 +39,8 @@ class FixedQueue {
   T pop_front() {
     assert(!empty());
     T value = std::move(storage_[head_]);
-    head_ = (head_ + 1) % storage_.size();
+    ++head_;
+    if (head_ == storage_.size()) head_ = 0;
     --size_;
     return value;
   }
@@ -85,8 +86,13 @@ class FixedQueue {
   }
 
  private:
+  // head_ < capacity and logical <= size_ <= capacity, so head_ + logical
+  // wraps at most once — a compare-and-subtract beats the integer divide
+  // the % operator costs on every window access (this indexing is the
+  // pipeline's single hottest operation).
   [[nodiscard]] std::size_t index(std::size_t logical) const noexcept {
-    return (head_ + logical) % storage_.size();
+    const std::size_t i = head_ + logical;
+    return i >= storage_.size() ? i - storage_.size() : i;
   }
 
   std::vector<T> storage_{};

@@ -1,0 +1,72 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace smt::par {
+
+std::size_t default_jobs() {
+  const char* env = std::getenv("SMT_JOBS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return 1;
+  return std::min<std::size_t>(static_cast<std::size_t>(v), kMaxJobs);
+}
+
+ThreadPool::ThreadPool(std::size_t jobs) {
+  if (jobs < 2) return;  // inline mode: submit() executes on the caller
+  const std::size_t n = std::min(jobs, kMaxJobs);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait() {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      if (--in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace smt::par

@@ -66,6 +66,16 @@ Pipeline::Pipeline(const PipelineConfig& cfg,
   fp_iq_.reserve(cfg.fp_iq_size);
   dispatch_fifo_ = FixedQueue<InstrRef>(
       threads_.size() * cfg.fetch_buffer_cap + cfg.fetch_width);
+
+  // Pre-size the per-cycle scratch and the completion-ring lanes so the
+  // steady-state loop never heap-allocates.
+  fetch_cands_.reserve(threads_.size());
+  int_issued_.reserve(cfg.issue_width);
+  fp_issued_.reserve(cfg.issue_width);
+  squash_replay_.reserve(cfg.rob_per_thread);
+  squash_backlog_.reserve(cfg.rob_per_thread + cfg.fetch_width);
+  squash_keep_.reserve(dispatch_fifo_.capacity());
+  for (auto& lane : completion_) lane.reserve(cfg.issue_width);
 }
 
 Pipeline::DynInstr& Pipeline::instr_at(std::uint32_t tid, std::uint64_t seq) {
@@ -224,20 +234,28 @@ void Pipeline::do_issue() {
   // Merge the two age-ordered queues oldest-first.
   std::size_t ii = 0;
   std::size_t fi = 0;
-  // Indices issued this cycle, per queue, for compaction afterwards.
-  std::vector<std::size_t> int_issued;
-  std::vector<std::size_t> fp_issued;
+  // Indices issued this cycle, per queue, for compaction afterwards
+  // (reused scratch; cleared every cycle).
+  std::vector<std::size_t>& int_issued = int_issued_;
+  std::vector<std::size_t>& fp_issued = fp_issued_;
+  int_issued.clear();
+  fp_issued.clear();
 
   while (total > 0 && (ii < int_iq_.size() || fi < fp_iq_.size())) {
     const bool take_int =
         fi >= fp_iq_.size() ||
-        (ii < int_iq_.size() &&
-         instr_at(int_iq_[ii].tid, int_iq_[ii].seq).age <
-             instr_at(fp_iq_[fi].tid, fp_iq_[fi].seq).age);
+        (ii < int_iq_.size() && int_iq_[ii].age < fp_iq_[fi].age);
 
     const InstrRef ref = take_int ? int_iq_[ii] : fp_iq_[fi];
     const std::size_t qidx = take_int ? ii : fi;
     if (take_int) ++ii; else ++fi;
+
+    // Queue-wide FU exhaustion needs no window lookup at all.
+    if (take_int) {
+      if (int_budget == 0) continue;
+    } else {
+      if (fp_budget == 0) continue;
+    }
 
     Thread& t = threads_[ref.tid];
     DynInstr& d = instr_at(ref.tid, ref.seq);
@@ -245,12 +263,7 @@ void Pipeline::do_issue() {
 
     // FU availability for this class.
     const bool is_mem = isa::is_mem(d.si.cls);
-    if (take_int) {
-      if (int_budget == 0) continue;
-      if (is_mem && mem_budget == 0) continue;
-    } else {
-      if (fp_budget == 0) continue;
-    }
+    if (take_int && is_mem && mem_budget == 0) continue;
     if (!deps_ready(t, d)) continue;
 
     // Issue it.
@@ -353,7 +366,8 @@ void Pipeline::do_dispatch() {
     }
     d.state = DynInstr::State::kQueued;
     d.age = next_age_++;
-    (fp ? fp_iq_ : int_iq_).push_back(ref);
+    (fp ? fp_iq_ : int_iq_)
+        .push_back(InstrRef{ref.tid, ref.seq, ref.uid, d.age});
     --t.frontend_count;
     dispatch_fifo_.pop_front();
     --budget;
@@ -376,14 +390,10 @@ void Pipeline::do_fetch() {
   }
 
   // Candidate threads, sorted by the active policy's priority key with a
-  // rotating tie-break so equal-key threads share fairly.
-  struct Cand {
-    std::uint32_t tid;
-    double key;
-    std::uint32_t tie;
-  };
-  std::vector<Cand> cands;
-  cands.reserve(n);
+  // rotating tie-break so equal-key threads share fairly (reused
+  // scratch; cleared every cycle).
+  std::vector<FetchCand>& cands = fetch_cands_;
+  cands.clear();
   // Per-thread blocked-cause for this cycle: 0 = not blocked, else
   // StallCause + 1. Lost slots are charged against these after the
   // service loop runs.
@@ -416,19 +426,20 @@ void Pipeline::do_fetch() {
     const double key =
         policy::priority_key(policy_, t.counters, tid, n, cycle_);
     cands.push_back(
-        Cand{tid, key, static_cast<std::uint32_t>((tid + cycle_) % n)});
+        FetchCand{tid, key, static_cast<std::uint32_t>((tid + cycle_) % n)});
   }
-  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
-    if (a.key != b.key) return a.key < b.key;
-    return a.tie < b.tie;
-  });
+  std::sort(cands.begin(), cands.end(),
+            [](const FetchCand& a, const FetchCand& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.tie < b.tie;
+            });
 
   std::uint32_t slots = cfg_.fetch_width;
   std::uint32_t threads_used = 0;
   std::array<std::uint32_t, 64> fetched_per_thread{};  // n <= 64
   std::array<bool, 64> serviced{};
 
-  for (const Cand& cand : cands) {
+  for (const FetchCand& cand : cands) {
     if (slots == 0 || threads_used >= cfg_.fetch_threads) break;
     serviced[cand.tid] = true;
     Thread& t = threads_[cand.tid];
@@ -562,7 +573,7 @@ void Pipeline::do_fetch() {
   // one cause. Candidates the service loop never reached were ready but
   // out-ranked — the policy throttle working as designed.
   if (lost > 0) {
-    for (const Cand& cand : cands) {
+    for (const FetchCand& cand : cands) {
       if (!serviced[cand.tid]) {
         blocked_by(cand.tid, obs::StallCause::kPolicyThrottle);
       }
@@ -636,8 +647,11 @@ void Pipeline::squash_from(std::uint32_t tid, std::uint64_t first_seq,
   Thread& t = threads_[tid];
 
   // Collect replayable correct-path instructions (popped youngest-first,
-  // reversed into program order below).
-  std::vector<isa::Instruction> to_replay;
+  // reversed into program order below). Reused scratch: squashes are off
+  // the per-cycle fast path but frequent enough (every mispredict) that
+  // allocating here shows up in profiles.
+  std::vector<isa::Instruction>& to_replay = squash_replay_;
+  to_replay.clear();
   while (!t.window.empty() && t.window.back().seq >= first_seq) {
     DynInstr& d = t.window.back();
     release_instr_resources(tid, d, /*completed_ok=*/false);
@@ -654,8 +668,8 @@ void Pipeline::squash_from(std::uint32_t tid, std::uint64_t first_seq,
     // already waiting in the replay queue (which was queued by an earlier
     // flush and not yet refetched), so rebuild: squashed first, then the
     // existing backlog.
-    std::vector<isa::Instruction> backlog;
-    backlog.reserve(t.replay.size());
+    std::vector<isa::Instruction>& backlog = squash_backlog_;
+    backlog.clear();
     while (!t.replay.empty()) backlog.push_back(t.replay.pop_front());
     for (auto it = to_replay.rbegin(); it != to_replay.rend(); ++it) {
       t.replay.push_back(*it);
@@ -677,8 +691,8 @@ void Pipeline::squash_from(std::uint32_t tid, std::uint64_t first_seq,
 
   // Scrub the dispatch FIFO the same way (rebuild preserving order).
   if (!dispatch_fifo_.empty()) {
-    std::vector<InstrRef> keep;
-    keep.reserve(dispatch_fifo_.size());
+    std::vector<InstrRef>& keep = squash_keep_;
+    keep.clear();
     while (!dispatch_fifo_.empty()) {
       const InstrRef r = dispatch_fifo_.pop_front();
       if (!(r.tid == tid && r.seq >= first_seq)) keep.push_back(r);

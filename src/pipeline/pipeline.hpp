@@ -261,6 +261,10 @@ class Pipeline {
     std::uint32_t tid = 0;
     std::uint64_t seq = 0;
     std::uint64_t uid = 0;
+    /// Dispatch age, cached so the issue stage's oldest-first merge
+    /// compares queue entries directly instead of chasing each ref into
+    /// its thread's window (valid for IQ entries; 0 elsewhere).
+    std::uint64_t age = 0;
   };
 
   struct Thread {
@@ -351,6 +355,23 @@ class Pipeline {
 
   PipelineStats stats_;
   obs::StallBreakdown machine_stalls_;  ///< lost slots with no thread to blame
+
+  // --- reused scratch buffers (hot-path allocation avoidance) -----------
+  // These hold no state between cycles — each user clears its buffer
+  // before filling it — so copying them with the pipeline is harmless;
+  // they exist only to keep the per-cycle loop free of heap allocation.
+  /// Fetch candidate, sorted by the active policy's priority key.
+  struct FetchCand {
+    std::uint32_t tid;
+    double key;
+    std::uint32_t tie;
+  };
+  std::vector<FetchCand> fetch_cands_;        ///< do_fetch candidate list
+  std::vector<std::size_t> int_issued_;       ///< do_issue INT compaction
+  std::vector<std::size_t> fp_issued_;        ///< do_issue FP compaction
+  std::vector<isa::Instruction> squash_replay_;   ///< squash_from collect
+  std::vector<isa::Instruction> squash_backlog_;  ///< replay-queue rebuild
+  std::vector<InstrRef> squash_keep_;         ///< dispatch-FIFO rebuild
 };
 
 /// Export the pipeline's whole-run statistics and per-thread stall

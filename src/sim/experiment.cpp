@@ -3,10 +3,13 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "par/thread_pool.hpp"
+
 namespace smt::sim {
 
 ExperimentScale ExperimentScale::from_env() {
   ExperimentScale s;
+  s.jobs = par::default_jobs();
   const char* env = std::getenv("SMT_BENCH_SCALE");
   const std::string_view mode = env ? env : "default";
   if (mode == "quick") {
@@ -72,7 +75,8 @@ OracleResult run_oracle_on_mix(const workload::Mix& mix, std::size_t threads,
         mix64(scale.base_seed ^ (0x1417ull + i * 0x9e37ull));
     Simulator sim(cfg);
     sim.run(scale.plan.warmup_cycles);
-    const OracleResult r = run_oracle(sim, scale.oracle_quanta, ocfg);
+    const OracleResult r =
+        run_oracle(sim, scale.oracle_quanta, ocfg, scale.jobs);
     agg.cycles += r.cycles;
     agg.committed += r.committed;
     agg.switches += r.switches;
@@ -90,28 +94,49 @@ SweepGrid run_fig78_sweep(const ExperimentScale& scale, std::size_t threads) {
   grid.mixes = mixes_for_scale(scale);
   grid.cells.resize(grid.types.size() * grid.thresholds.size());
 
+  // Every run in the grid is independent, so the whole
+  // (baseline ∪ type × threshold) × mix task set fans out across one
+  // pool; the per-cell reductions below consume results in the same
+  // order the serial loops did, so the grid is bit-identical for any
+  // scale.jobs.
+  par::ThreadPool pool(scale.jobs);
+  const std::size_t n_thr = grid.thresholds.size();
+  const std::size_t n_mix = grid.mixes.size();
+
   // Fixed-ICOUNT baseline over the same mixes.
   {
-    std::vector<double> ipcs;
-    for (const auto& mname : grid.mixes) {
-      ipcs.push_back(run_fixed(workload::mix(mname),
-                               policy::FetchPolicy::kIcount, threads, scale)
-                         .ipc());
-    }
+    const std::vector<double> ipcs =
+        par::parallel_map(pool, n_mix, [&](std::size_t k) {
+          return run_fixed(workload::mix(grid.mixes[k]),
+                           policy::FetchPolicy::kIcount, threads, scale)
+              .ipc();
+        });
     grid.icount_baseline_ipc = mean(ipcs);
   }
 
+  // One task per (type, threshold, mix) run, flattened mix-fastest so a
+  // cell's results sit contiguously in submission order.
+  const std::vector<SampleResult> runs =
+      par::parallel_map(pool, grid.types.size() * n_thr * n_mix,
+                        [&](std::size_t idx) {
+                          const std::size_t ti = idx / (n_thr * n_mix);
+                          const std::size_t mi = (idx / n_mix) % n_thr;
+                          const std::size_t k = idx % n_mix;
+                          return run_adts(workload::mix(grid.mixes[k]),
+                                          grid.types[ti], grid.thresholds[mi],
+                                          threads, scale);
+                        });
+
   for (std::size_t ti = 0; ti < grid.types.size(); ++ti) {
-    for (std::size_t mi = 0; mi < grid.thresholds.size(); ++mi) {
+    for (std::size_t mi = 0; mi < n_thr; ++mi) {
       std::vector<double> ipcs;
       double switches = 0.0;
       std::uint64_t benign = 0;
       std::uint64_t scored = 0;
       std::uint64_t low = 0;
       std::uint64_t quanta = 0;
-      for (const auto& mname : grid.mixes) {
-        const SampleResult r = run_adts(workload::mix(mname), grid.types[ti],
-                                        grid.thresholds[mi], threads, scale);
+      for (std::size_t k = 0; k < n_mix; ++k) {
+        const SampleResult& r = runs[(ti * n_thr + mi) * n_mix + k];
         ipcs.push_back(r.ipc());
         switches += static_cast<double>(r.switches);
         benign += r.benign_switches;
@@ -119,10 +144,9 @@ SweepGrid run_fig78_sweep(const ExperimentScale& scale, std::size_t threads) {
         low += r.low_throughput_quanta;
         quanta += r.quanta;
       }
-      SweepCell& c =
-          grid.cells[ti * grid.thresholds.size() + mi];
+      SweepCell& c = grid.cells[ti * n_thr + mi];
       c.ipc = mean(ipcs);
-      c.switches = switches / static_cast<double>(grid.mixes.size());
+      c.switches = switches / static_cast<double>(n_mix);
       c.benign_prob =
           scored ? static_cast<double>(benign) / static_cast<double>(scored)
                  : 0.0;

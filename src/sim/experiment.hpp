@@ -24,8 +24,11 @@ struct ExperimentScale {
   std::uint64_t oracle_quanta = 12;
   std::uint32_t oracle_intervals = 1;
   std::uint64_t base_seed = 2003;  ///< IPPS 2003
+  /// Worker threads for the embarrassingly parallel sweeps (src/par/).
+  /// Results are bit-identical for any value; 1 = serial.
+  std::size_t jobs = 1;
 
-  /// Read SMT_BENCH_SCALE from the environment.
+  /// Read SMT_BENCH_SCALE and SMT_JOBS from the environment.
   [[nodiscard]] static ExperimentScale from_env();
 };
 
@@ -95,6 +98,8 @@ struct SweepGrid {
 };
 
 /// Run the full (type × threshold × mix) grid at `threads` contexts.
+/// Individual runs fan out over scale.jobs workers; the grid is
+/// bit-identical for any jobs value.
 [[nodiscard]] SweepGrid run_fig78_sweep(const ExperimentScale& scale,
                                         std::size_t threads = 8);
 

@@ -43,7 +43,12 @@ struct OracleResult {
 /// Run `quanta` scheduling quanta from the state of `base`, choosing the
 /// per-quantum-best candidate policy. `base` is taken by value (the run
 /// consumes a snapshot; the caller's simulator is unchanged).
+///
+/// `jobs` fans the per-quantum candidate trials across a worker pool
+/// (src/par/). Ties break on the first candidate index, so the result is
+/// bit-identical for every jobs value; jobs <= 1 runs inline.
 [[nodiscard]] OracleResult run_oracle(Simulator base, std::uint64_t quanta,
-                                      const OracleConfig& cfg);
+                                      const OracleConfig& cfg,
+                                      std::size_t jobs = 1);
 
 }  // namespace smt::sim

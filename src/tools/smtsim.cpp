@@ -23,6 +23,7 @@
 #include "core/heuristics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
+#include "par/thread_pool.hpp"
 #include "sim/oracle.hpp"
 #include "sim/simulator.hpp"
 #include "workload/app_profile.hpp"
@@ -50,6 +51,9 @@ scheduling (one of):
   --oracle              per-quantum oracle over {ICOUNT,BRCOUNT,L1MISSCOUNT}
     --all-policies            oracle over all ten policies
     --quanta N                oracle quanta (default 16)
+    --jobs N                  worker threads for the oracle's candidate
+                              trials (default: SMT_JOBS or 1; results are
+                              bit-identical for every value)
 
 fault injection (all probabilities per quantum, in [0,1]):
   --fault-seed N              fault schedule seed (default 0xFA017)
@@ -162,7 +166,8 @@ int main(int argc, char** argv) {
         argc, argv,
         {"mix", "apps", "threads", "seed", "policy", "adts", "heuristic",
          "threshold", "quantum", "instant", "guard", "oracle", "all-policies",
-         "quanta", "cycles", "warmup", "csv", "list", "help", "fault-seed",
+         "quanta", "jobs", "cycles", "warmup", "csv", "list", "help",
+         "fault-seed",
          "fault-noise", "fault-noise-mag", "fault-freeze", "fault-corrupt",
          "fault-dt-stall", "fault-stall-quanta", "fault-drop", "fault-delay",
          "fault-delay-quanta", "fault-blackout", "fault-blackout-cycles",
@@ -245,6 +250,14 @@ int main(int argc, char** argv) {
       return kExitCheck;
     };
 
+    // Worker threads for the oracle's per-quantum candidate trials. The
+    // flag is harmless elsewhere (single runs have nothing to fan out).
+    const std::uint64_t jobs =
+        args.get_u64("jobs", static_cast<std::uint64_t>(par::default_jobs()));
+    if (jobs == 0) {
+      throw ConfigError("--jobs must be >= 1 worker threads");
+    }
+
     if (args.has("oracle")) {
       sim::OracleConfig ocfg;
       ocfg.quantum_cycles = quantum;
@@ -253,7 +266,8 @@ int main(int argc, char** argv) {
 
       sim::Simulator base(cfg);
       base.run(warmup);
-      const sim::OracleResult r = sim::run_oracle(base, quanta, ocfg);
+      const sim::OracleResult r = sim::run_oracle(
+          base, quanta, ocfg, static_cast<std::size_t>(jobs));
       if (csv) {
         std::cout << "mode,ipc,cycles,committed,switches\noracle,"
                   << r.ipc() << ',' << r.cycles << ',' << r.committed << ','
