@@ -26,8 +26,9 @@ trap 'rm -rf "$tmp"' EXIT
 run=(--mix mem8 --adts --guard --fault-corrupt 0.3 --fault-dt-stall 0.2
      --fault-blackout 0.2 --cycles 32768 --warmup 8192 --quantum 1024 --csv)
 
-echo "== traced run"
+echo "== traced run (with pipeview sampling)"
 "$smtsim" "${run[@]}" --trace "$tmp/trace.jsonl" --trace-format jsonl \
+  --pipeview 64@8192,48@16384 \
   --stats-json "$tmp/stats.json" > "$tmp/traced.csv"
 echo "== untraced run"
 "$smtsim" "${run[@]}" > "$tmp/untraced.csv"
@@ -47,24 +48,46 @@ import sys
 jsonl, stats_path, chrome = sys.argv[1:4]
 
 KINDS = {"quantum", "thread_quantum", "policy_switch", "guard_action",
-         "fault", "dt_stall_begin", "dt_stall_end", "invariant"}
+         "fault", "dt_stall_begin", "dt_stall_end", "invariant",
+         "pipeview", "switch_audit"}
 KEYS = {"event", "quantum", "cycle", "tid", "span", "policy_before",
         "policy_after", "code", "mask", "value", "ipc", "fetch_share",
         "mispredict_rate", "l1d_miss_rate", "l1i_miss_rate", "stalls"}
+BUILD_KEYS = {"event", "tool", "version", "git_sha", "compiler", "flags",
+              "seed", "config_digest"}
 CAUSES = {"policy_throttle", "icache_miss", "rob_full",
           "dispatch_backpressure", "squash_recovery", "fetch_blackout",
           "fragmentation"}
 
 n = 0
+pipeview = 0
+audits = 0
+digest = None
 with open(jsonl) as f:
-    for line in f:
+    for i, line in enumerate(f):
         e = json.loads(line)
-        assert set(e) == KEYS, f"line {n + 1}: keys {set(e) ^ KEYS}"
-        assert e["event"] in KINDS, f"line {n + 1}: kind {e['event']}"
-        assert set(e["stalls"]) == CAUSES, f"line {n + 1}: stall causes"
+        if i == 0:
+            # Provenance header: first line of every trace.
+            assert e["event"] == "build_info", "missing build_info header"
+            assert set(e) == BUILD_KEYS, f"build_info keys {set(e) ^ BUILD_KEYS}"
+            digest = e["config_digest"]
+            continue
+        want = KEYS | {"stages"} if e["event"] == "pipeview" else KEYS
+        assert set(e) == want, f"line {i + 1}: keys {set(e) ^ want}"
+        assert e["event"] in KINDS, f"line {i + 1}: kind {e['event']}"
+        assert set(e["stalls"]) == CAUSES, f"line {i + 1}: stall causes"
+        if e["event"] == "pipeview":
+            pipeview += 1
+            assert len(e["stages"]) == 7, f"line {i + 1}: stage slots"
+        elif e["event"] == "switch_audit":
+            audits += 1
+            assert int(e["value"]) in (0, 1, 2), f"line {i + 1}: label"
         n += 1
 assert n > 0, "empty trace"
-print(f"== trace.jsonl: {n} events, schema OK")
+assert pipeview == 64 + 48, f"pipeview rows: {pipeview}"
+assert audits > 0, "no switch_audit rows in an ADTS run with switches"
+print(f"== trace.jsonl: {n} events ({pipeview} pipeview, {audits} audits), "
+      "schema OK")
 
 stats = json.load(open(stats_path))
 threads = stats["threads"]
@@ -74,6 +97,12 @@ assert charged == stats["machine"]["charged_stall_slots"], "stall sum"
 assert charged + stats["machine"]["dt_slots_used"] == \
     stats["machine"]["fetch_slots_idle"], "conservation"
 print("== stats.json: stall conservation OK")
+
+# run.* provenance must agree with the trace's build_info header.
+assert stats["run"]["config_digest"] == digest, "config digest mismatch"
+assert int(stats["run"]["seed"]) == 2003, "seed"
+assert stats["audit"]["records"] == audits, "audit records vs trace rows"
+print("== stats.json: run/audit provenance agrees with the trace")
 
 doc = json.load(open(chrome))
 assert doc["traceEvents"], "empty chrome trace"

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Trace-tools CI gate: smttrace end-to-end against real smtsim traces.
+#
+# 1. Writes the same run as JSONL and CSV; `smttrace diff` across the two
+#    formats must report zero differing quanta (cross-format parity), and
+#    a self-diff of one file must too.
+# 2. `smttrace switches` totals must agree with smtsim's own human
+#    summary line ("N switches (B benign / M malignant ...)") — both sides
+#    route through the shared classifier in src/obs/switch_audit.hpp.
+# 3. `smttrace pipeview` must render exactly the sampled instruction
+#    count; `summary` and `hist` must run and mention their key sections.
+# 4. `smtsim --trace -` piped into `smttrace summary -` works (stdout
+#    streaming), and exit codes hold: 2 for usage errors, 3 for
+#    unreadable input and for the write-only chrome format.
+#
+# Usage: scripts/check_trace_tools.sh [smtsim-binary] [smttrace-binary]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+smtsim="${1:-${BUILD_DIR:-$repo/build}/src/smtsim}"
+smttrace="${2:-$(dirname "$smtsim")/smttrace}"
+for bin in "$smtsim" "$smttrace"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_trace_tools: $bin not built" >&2
+    exit 2
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run=(--mix mem8 --adts --cycles 32768 --warmup 8192 --quantum 1024
+     --pipeview 48@8192)
+
+echo "== generate traces (jsonl + csv, same run)"
+"$smtsim" "${run[@]}" --trace "$tmp/t.jsonl" > "$tmp/report.txt"
+"$smtsim" "${run[@]}" --trace "$tmp/t.csv" --trace-format csv > /dev/null
+
+echo "== diff: jsonl vs csv of the same run has zero deltas"
+"$smttrace" diff "$tmp/t.jsonl" "$tmp/t.csv" | tee "$tmp/diff.txt"
+grep -q "quanta compared, 0 differing" "$tmp/diff.txt"
+
+echo "== diff: self-diff has zero deltas"
+"$smttrace" diff "$tmp/t.jsonl" "$tmp/t.jsonl" \
+  | grep -q "quanta compared, 0 differing"
+
+echo "== switches: audit totals match the smtsim summary line"
+# smtsim prints: "... N switches (B benign / M malignant / S skipped)"
+sim_line="$(grep -o '[0-9]* switches ([0-9]* benign / [0-9]* malignant' \
+              "$tmp/report.txt")"
+sim_benign="$(echo "$sim_line" | sed 's/.*(\([0-9]*\) benign.*/\1/')"
+sim_malignant="$(echo "$sim_line" | sed 's/.*\/ \([0-9]*\) malignant.*/\1/')"
+"$smttrace" switches "$tmp/t.jsonl" > "$tmp/switches.txt"
+grep -q " switches: $sim_benign benign / $sim_malignant malignant / " \
+  "$tmp/switches.txt"
+# Same totals from the CSV serialization of the identical run.
+"$smttrace" switches "$tmp/t.csv" \
+  | grep -q " switches: $sim_benign benign / $sim_malignant malignant / "
+echo "   $sim_benign benign / $sim_malignant malignant on both sides"
+
+echo "== pipeview: every sampled instruction renders"
+"$smttrace" pipeview "$tmp/t.jsonl" > "$tmp/pipeview.txt"
+test "$(grep -c '^seq ' "$tmp/pipeview.txt")" -eq 48
+grep -q "^48 sampled instructions:" "$tmp/pipeview.txt"
+
+echo "== summary + hist run and carry their key sections"
+"$smttrace" summary "$tmp/t.jsonl" --limit 8 > "$tmp/summary.txt"
+grep -q "stall cause" "$tmp/summary.txt"
+grep -q "policy switches" "$tmp/summary.txt"
+"$smttrace" summary "$tmp/t.jsonl" --csv | grep -q "^quantum,cycles,"
+"$smttrace" hist "$tmp/t.jsonl" > "$tmp/hist.txt"
+grep -q "lifetime, fetch->retire" "$tmp/hist.txt"
+grep -q "per-quantum machine IPC" "$tmp/hist.txt"
+
+echo "== stdout streaming: smtsim --trace - | smttrace summary -"
+"$smtsim" --mix mem8 --adts --cycles 8192 --quantum 1024 --trace - \
+  | "$smttrace" summary - | grep -q "quanta,"
+
+echo "== exit codes: 2 usage, 3 bad input / chrome"
+rc=0; "$smttrace" bogus "$tmp/t.jsonl" >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 2
+rc=0; "$smttrace" summary "$tmp/does-not-exist" >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 3
+"$smtsim" --mix mem8 --cycles 8192 --trace "$tmp/t.chrome" \
+  --trace-format chrome > /dev/null
+rc=0; "$smttrace" summary "$tmp/t.chrome" >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 3
+rc=0; "$smtsim" --mix mem8 --cycles 8192 --trace - --csv >/dev/null 2>&1 \
+  || rc=$?
+test "$rc" -eq 2  # stdout trace refuses to interleave with other stdout users
+
+echo "check_trace_tools: OK"

@@ -80,8 +80,26 @@ wait
 } > "$out"
 
 if command -v python3 >/dev/null 2>&1; then
-  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
-  echo "== $out valid JSON"
+  # The per-run run.* provenance block identifies the *binary* (git sha,
+  # compiler, flags) — exactly what must NOT enter a document that is
+  # byte-compared across commits and toolchains (run_perf_suite.sh).
+  # Keep the run-identity keys (seed, config_digest, version), drop the
+  # build-identity ones, and re-serialize deterministically.
+  python3 - "$out" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+doc = json.load(open(path))
+for mix in doc["mixes"].values():
+    for run in mix.values():
+        for volatile in ("git_sha", "compiler", "flags"):
+            run.get("run", {}).pop(volatile, None)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=1, sort_keys=True)
+    f.write("\n")
+EOF
+  echo "== $out valid JSON (volatile build provenance stripped)"
 else
-  echo "== $out written (python3 unavailable; skipped validation)"
+  echo "== $out written (python3 unavailable; raw, unvalidated)"
 fi

@@ -1,0 +1,36 @@
+#include "common/build_info.hpp"
+
+// The configure-time stamps arrive as compile definitions on this one
+// translation unit (see src/CMakeLists.txt); the fallbacks keep the file
+// buildable standalone (tooling, IDE indexers).
+#ifndef SMT_VERSION
+#define SMT_VERSION "unknown"
+#endif
+#ifndef SMT_GIT_SHA
+#define SMT_GIT_SHA "unknown"
+#endif
+#ifndef SMT_BUILD_FLAGS
+#define SMT_BUILD_FLAGS "unknown"
+#endif
+
+namespace smt {
+
+namespace {
+
+#if defined(__clang__)
+constexpr char kCompiler[] = "clang " __clang_version__;
+#elif defined(__GNUC__)
+constexpr char kCompiler[] = "gcc " __VERSION__;
+#else
+constexpr char kCompiler[] = "unknown";
+#endif
+
+}  // namespace
+
+const BuildInfo& build_info() noexcept {
+  static constexpr BuildInfo kInfo{SMT_VERSION, SMT_GIT_SHA, kCompiler,
+                                   SMT_BUILD_FLAGS};
+  return kInfo;
+}
+
+}  // namespace smt

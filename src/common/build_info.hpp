@@ -1,0 +1,54 @@
+// Build provenance: which binary produced an artifact.
+//
+// Every trace and --stats-json document is stamped with the version, git
+// commit, compiler and build flags of the producing binary (plus the
+// run's seed and a config digest) so results can always be traced back
+// to the exact code and configuration that made them. The git sha and
+// flags are captured at CMake configure time and injected as compile
+// definitions on build_info.cpp only — touching other sources never
+// rebuilds the world, and a rebuilt checkout refreshes the stamp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace smt {
+
+struct BuildInfo {
+  std::string_view version;   ///< project version (CMake PROJECT_VERSION)
+  std::string_view git_sha;   ///< configure-time commit ("unknown" outside git)
+  std::string_view compiler;  ///< compiling toolchain, e.g. "gcc 13.2.0"
+  std::string_view flags;     ///< build type + optimization/sanitizer flags
+};
+
+[[nodiscard]] const BuildInfo& build_info() noexcept;
+
+/// Incremental FNV-1a over trivially-copyable values — the digest that
+/// fingerprints a resolved configuration. Byte-order dependent, which is
+/// fine: the digest compares runs, it is not an interchange format.
+class Fnv1a {
+ public:
+  void mix_bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+
+  template <typename T>
+  void mix(const T& v) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "digest only trivially-copyable values");
+    mix_bytes(&v, sizeof v);
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace smt

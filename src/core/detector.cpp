@@ -23,6 +23,7 @@ void DetectorThread::arm(const pipeline::Pipeline& pipe) {
   switch_write_lost_ = false;
   switch_unscored_ = false;
   switch_was_stale_ = false;
+  unscored_audit_ = obs::SwitchAuditLog::npos;
 }
 
 void DetectorThread::apply_policy(pipeline::Pipeline& pipe,
@@ -67,6 +68,11 @@ void DetectorThread::tick(pipeline::Pipeline& pipe,
     } else {
       decision_pending_ = false;
       if (pending_policy_ != pipe.policy()) {
+        pending_audit_.policy_before =
+            static_cast<std::uint8_t>(pipe.policy());
+        pending_audit_.policy_after =
+            static_cast<std::uint8_t>(pending_policy_);
+        pending_audit_.applied_cycle = pipe.now();
         apply_policy(pipe, pending_policy_);
         ++stats_.switches;
         switch_unscored_ = true;
@@ -74,8 +80,12 @@ void DetectorThread::tick(pipeline::Pipeline& pipe,
         // out-lived the boundary that should have dropped it: a fault.
         switch_was_stale_ =
             pipe.now() > pending_decided_cycle_ + cfg_.quantum_cycles;
-        if (switch_was_stale_) ++stats_.switches_stale;
+        if (switch_was_stale_) {
+          ++stats_.switches_stale;
+          pending_audit_.flags |= obs::kAuditStale;
+        }
         guard_.note_switch_applied();
+        unscored_audit_ = audit_log_.push(pending_audit_);
       }
     }
   }
@@ -119,7 +129,11 @@ void DetectorThread::on_quantum_boundary(pipeline::Pipeline& pipe,
   // Score the switch applied during the previous quantum: benign iff the
   // quantum that just ended out-performed the one that triggered it.
   if (switch_unscored_) {
-    const bool benign = ipc_last_ > ipc_before_switch_;
+    const bool benign =
+        obs::classify_switch(ipc_before_switch_, ipc_last_) ==
+        obs::SwitchLabel::kBenign;
+    audit_log_.score(unscored_audit_, ipc_last_, pipe.now());
+    unscored_audit_ = obs::SwitchAuditLog::npos;
     if (benign) {
       ++stats_.benign_switches;
     } else {
@@ -190,9 +204,11 @@ void DetectorThread::on_quantum_boundary(pipeline::Pipeline& pipe,
     allow_switch_ = v.allow_switching;
     if (v.pin_safe_policy) {
       // SAFE_MODE: abandon any in-flight decision and hold the safe
-      // policy until the guard cools down.
+      // policy until the guard cools down. The abandoned switch's audit
+      // entry stays neutral (never scored).
       decision_pending_ = false;
       switch_unscored_ = false;
+      unscored_audit_ = obs::SwitchAuditLog::npos;
       if (pipe.policy() != cfg_.guard.safe_policy) {
         apply_policy(pipe, cfg_.guard.safe_policy);
       }
@@ -264,11 +280,33 @@ void DetectorThread::on_quantum_boundary(pipeline::Pipeline& pipe,
         switch_incumbent_ = pipe.policy();
         switch_cond_value_ = d->cond_value;
 
+        // Provenance: the full decision context, captured now; the
+        // decided→applied span and stale flag are filled at apply time.
+        obs::SwitchAudit audit;
+        audit.heuristic = static_cast<std::uint8_t>(cfg_.heuristic);
+        audit.policy_before = static_cast<std::uint8_t>(pipe.policy());
+        audit.policy_after = static_cast<std::uint8_t>(d->next);
+        if (d->reversed) audit.flags |= obs::kAuditReversed;
+        if (conds.cond_mem) audit.flags |= obs::kAuditCondMem;
+        if (conds.cond_br) audit.flags |= obs::kAuditCondBr;
+        audit.quantum = pipe.now() / cfg_.quantum_cycles;
+        audit.decided_cycle = pipe.now();
+        audit.ipc_before = ipc_last_;
+        audit.ipc_prev = ipc_prev_;
+        audit.br_rate = machine.cond_branches_per_cycle;
+        audit.mispredict_rate = machine.mispredicts_per_cycle;
+        audit.l1_miss_rate = machine.l1_misses_per_cycle;
+        audit.lsq_full_rate = machine.lsq_full_per_cycle;
+        audit.cond_value = d->cond_value ? 1.0 : 0.0;
+
         if (cfg_.instant_switch) {
+          audit.flags |= obs::kAuditInstant;
+          audit.applied_cycle = pipe.now();
           apply_policy(pipe, d->next);
           ++stats_.switches;
           switch_unscored_ = true;
           guard_.note_switch_applied();
+          unscored_audit_ = audit_log_.push(audit);
         } else {
           // A still-pending decision (kept alive by a stall or delay
           // fault) is refreshed in place: the target policy updates but
@@ -279,6 +317,12 @@ void DetectorThread::on_quantum_boundary(pipeline::Pipeline& pipe,
             decision_pending_ = true;
             pending_decided_cycle_ = pipe.now();
             pending_hold_until_cycle_ = 0;
+            pending_audit_ = audit;
+          } else {
+            // Refresh the context but keep the original decision stamp.
+            audit.quantum = pending_audit_.quantum;
+            audit.decided_cycle = pending_audit_.decided_cycle;
+            pending_audit_ = audit;
           }
           pipe.add_dt_work(cfg_.dt_decide_instrs);
         }
@@ -341,6 +385,9 @@ void DetectorThread::export_metrics(obs::MetricsRegistry& reg) const {
                 std::string(policy::name(static_cast<policy::FetchPolicy>(p))),
             stats_.quanta_per_policy[static_cast<std::size_t>(p)]);
   }
+  audit_log_.export_metrics(reg, "audit.", [](std::uint8_t code) {
+    return name(static_cast<HeuristicType>(code));
+  });
   if (cfg_.guard.enabled) guard_.export_metrics(reg);
 }
 

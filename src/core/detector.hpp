@@ -30,6 +30,7 @@
 #include "core/heuristics.hpp"
 #include "core/history.hpp"
 #include "fault/injector.hpp"
+#include "obs/switch_audit.hpp"
 #include "pipeline/pipeline.hpp"
 
 namespace smt::core {
@@ -99,10 +100,7 @@ struct AdtsStats {
   std::array<std::uint64_t, policy::kNumFetchPolicies> quanta_per_policy{};
 
   [[nodiscard]] double benign_fraction() const noexcept {
-    const std::uint64_t scored = benign_switches + malignant_switches;
-    return scored ? static_cast<double>(benign_switches) /
-                        static_cast<double>(scored)
-                  : 0.0;
+    return obs::benign_probability(benign_switches, malignant_switches);
   }
 };
 
@@ -137,6 +135,13 @@ class DetectorThread {
   }
   [[nodiscard]] const SwitchHistory& history() const noexcept {
     return history_;
+  }
+  /// Provenance trail: one record per applied switch, carrying the full
+  /// decision context and (after the following quantum) its benign/
+  /// malignant label. The classifier is obs::classify_switch — the same
+  /// definition AdtsStats counts with, so log and stats always agree.
+  [[nodiscard]] const obs::SwitchAuditLog& audit_log() const noexcept {
+    return audit_log_;
   }
   [[nodiscard]] double last_quantum_ipc() const noexcept { return ipc_last_; }
   /// Threads flagged as clogging in the most recent low-throughput quantum.
@@ -200,6 +205,13 @@ class DetectorThread {
   std::uint64_t missed_quanta_ = 0;
   /// A Policy_Switch write was lost since the last boundary (fault).
   bool switch_write_lost_ = false;
+
+  // Switch-audit provenance (obs/switch_audit.hpp). pending_audit_ is
+  // filled at decision time and pushed into the log at apply time;
+  // unscored_audit_ indexes the entry awaiting its scoring boundary.
+  obs::SwitchAuditLog audit_log_{};
+  obs::SwitchAudit pending_audit_{};
+  std::size_t unscored_audit_ = obs::SwitchAuditLog::npos;
 
   // Outcome tracking for the most recent applied switch.
   bool switch_unscored_ = false;

@@ -1,0 +1,104 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+namespace smt::obs {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi > lo && bins > 0)
+                 ? (hi - lo) / static_cast<double>(bins)
+                 : 1.0),
+      counts_((hi > lo && bins > 0) ? bins : 1, 0) {}
+
+void Histogram::add(double v) { add(v, 1); }
+
+void Histogram::add(double v, std::uint64_t weight) {
+  if (std::isnan(v) || weight == 0) return;
+  total_ += weight;
+  sum_ += v * static_cast<double>(weight);
+  if (!any_ || v < min_) min_ = v;
+  if (!any_ || v > max_) max_ = v;
+  any_ = true;
+  if (v < lo_) {
+    under_ += weight;
+    return;
+  }
+  const double rel = (v - lo_) / width_;
+  if (rel >= static_cast<double>(counts_.size())) {
+    over_ += weight;
+    return;
+  }
+  counts_[static_cast<std::size_t>(rel)] += weight;
+}
+
+double Histogram::min() const noexcept {
+  return any_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Histogram::max() const noexcept {
+  return any_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Histogram::mean() const noexcept {
+  return total_ != 0 ? sum_ / static_cast<double>(total_)
+                     : std::numeric_limits<double>::quiet_NaN();
+}
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+void row(std::ostream& os, const std::string& range, std::uint64_t count,
+         std::uint64_t peak, std::size_t width) {
+  const std::size_t bar =
+      peak != 0 ? static_cast<std::size_t>(
+                      (static_cast<double>(count) / static_cast<double>(peak)) *
+                      static_cast<double>(width))
+                : 0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "  %-18s %10llu ", range.c_str(),
+                static_cast<unsigned long long>(count));
+  os << buf << std::string(count != 0 && bar == 0 ? 1 : bar, '#') << '\n';
+}
+
+}  // namespace
+
+void Histogram::render(std::ostream& os, const std::string& label,
+                       std::size_t width) const {
+  os << label << " (" << total_ << " samples)\n";
+  if (total_ == 0) {
+    os << "  (empty)\n";
+    return;
+  }
+  std::uint64_t peak = std::max(under_, over_);
+  for (const std::uint64_t c : counts_) peak = std::max(peak, c);
+  char range[48];
+  if (under_ != 0) {
+    std::snprintf(range, sizeof range, "< %s", num(lo_).c_str());
+    row(os, range, under_, peak, width);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    std::snprintf(range, sizeof range, "[%s, %s)", num(bin_lo(i)).c_str(),
+                  num(bin_hi(i)).c_str());
+    row(os, range, counts_[i], peak, width);
+  }
+  if (over_ != 0) {
+    std::snprintf(range, sizeof range, ">= %s",
+                  num(bin_lo(counts_.size())).c_str());
+    row(os, range, over_, peak, width);
+  }
+  os << "  mean " << num(mean()) << "  min " << num(min()) << "  max "
+     << num(max()) << '\n';
+}
+
+}  // namespace smt::obs

@@ -1,0 +1,66 @@
+// Fixed-bin histogram for offline trace analysis (smttrace hist).
+//
+// Uniform bins over [lo, hi) plus explicit underflow/overflow buckets so
+// no sample is ever silently discarded; the bin layout is fixed at
+// construction, which keeps accumulation allocation-free and renders
+// deterministically. Exact min/max/mean run alongside the bins so the
+// summary line does not suffer binning error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smt::obs {
+
+class Histogram {
+ public:
+  /// `bins` uniform buckets spanning [lo, hi); hi must exceed lo and
+  /// bins must be non-zero (both are clamped to a 1-bin [lo, lo+1)
+  /// histogram rather than asserting, so tooling never crashes on a
+  /// degenerate range).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double v);
+  void add(double v, std::uint64_t weight);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const {
+    return counts_[i];
+  }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i + 1);
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return under_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return over_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] double min() const noexcept;   ///< NaN when empty
+  [[nodiscard]] double max() const noexcept;   ///< NaN when empty
+  [[nodiscard]] double mean() const noexcept;  ///< NaN when empty
+
+  /// ASCII rendering: one row per non-empty bucket (including the
+  /// under/overflow rows), bars scaled to `width` characters, followed
+  /// by a count/mean/min/max summary line. `label` names the quantity.
+  void render(std::ostream& os, const std::string& label,
+              std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double width_;  ///< per-bin width
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool any_ = false;
+};
+
+}  // namespace smt::obs

@@ -20,6 +20,17 @@
 //   kDtStallEnd     -1     span (cycles the DT slot was stalled)
 //   kInvariant      any    code (check::InvariantClass), value (offending
 //                          quantity: mismatch mask, excess delta, ...)
+//   kPipeview       >= 0   cycle (fetch cycle), value (instruction seq),
+//                          span (retire delta), code (PipeTerminal),
+//                          mask (PipeFlag bits), stage_delta (per-stage
+//                          cycle offsets from fetch; 0 = never reached)
+//   kSwitchAudit    -1     cycle (apply cycle), span (apply − decided),
+//                          policy_before → policy_after, code (heuristic),
+//                          value (SwitchLabel), mask (AuditFlag bits),
+//                          fetch_share (IPC before), ipc (IPC after; null
+//                          while unscored), mispredict_rate / l1d_miss_rate
+//                          (decision-time machine mispredicts / L1 misses
+//                          per cycle), l1i_miss_rate (condition magnitude)
 //
 // Rates are per cycle over the event's span, matching the convention of
 // pipeline::QuantumRates; fetch_share is the fraction of *all* fetch
@@ -43,6 +54,8 @@ enum class EventKind : std::uint8_t {
   kDtStallBegin,   ///< detector-thread stall window opened
   kDtStallEnd,     ///< detector-thread stall window closed
   kInvariant,      ///< invariant checker detected a violation (src/check)
+  kPipeview,       ///< sampled instruction's full pipeline lifecycle
+  kSwitchAudit,    ///< provenance + post-hoc label for an applied switch
 };
 
 [[nodiscard]] constexpr std::string_view name(EventKind k) noexcept {
@@ -55,6 +68,8 @@ enum class EventKind : std::uint8_t {
     case EventKind::kDtStallBegin: return "dt_stall_begin";
     case EventKind::kDtStallEnd: return "dt_stall_end";
     case EventKind::kInvariant: return "invariant";
+    case EventKind::kPipeview: return "pipeview";
+    case EventKind::kSwitchAudit: return "switch_audit";
   }
   return "unknown";
 }
@@ -74,6 +89,62 @@ enum class GuardAct : std::uint8_t {
   }
   return "unknown";
 }
+
+/// Pipeview stage slots (TraceEvent::stage_delta indices). The fetch cycle
+/// is the event's `cycle`; every slot holds the cycle offset from fetch at
+/// which the instruction entered that stage, 0 meaning "never reached"
+/// (every real post-fetch stage sits at delta >= 1 because the front end
+/// is at least one cycle deep). `kRetire` duplicates `span` so a pipeview
+/// row is self-contained.
+enum class PipeStage : std::uint8_t {
+  kDecode = 0,    ///< entered the decode portion of the front end
+  kRename,        ///< rename complete (dispatch-ready)
+  kDispatch,      ///< entered an issue queue
+  kIssue,         ///< selected by the scheduler, left the queue
+  kExecute,       ///< functional unit occupied (same cycle as issue)
+  kWriteback,     ///< result written back / completion handled
+  kRetire,        ///< committed or squashed (see PipeTerminal)
+};
+inline constexpr std::size_t kNumPipeStages = 7;
+
+[[nodiscard]] constexpr std::string_view name(PipeStage s) noexcept {
+  switch (s) {
+    case PipeStage::kDecode: return "decode";
+    case PipeStage::kRename: return "rename";
+    case PipeStage::kDispatch: return "dispatch";
+    case PipeStage::kIssue: return "issue";
+    case PipeStage::kExecute: return "execute";
+    case PipeStage::kWriteback: return "writeback";
+    case PipeStage::kRetire: return "retire";
+  }
+  return "unknown";
+}
+
+/// How a sampled instruction left the window (TraceEvent::code of a
+/// kPipeview event). In-flight instructions at the end of a run are never
+/// emitted, so every pipeview row carries exactly one terminal.
+enum class PipeTerminal : std::uint8_t {
+  kCommit = 1,            ///< retired architecturally
+  kSquashMispredict = 2,  ///< flushed by a branch-mispredict recovery
+  kSquashSyscall = 3,     ///< flushed by a syscall drain
+  kSquashSwap = 4,        ///< discarded by a job swap (no replay)
+};
+
+[[nodiscard]] constexpr std::string_view name(PipeTerminal t) noexcept {
+  switch (t) {
+    case PipeTerminal::kCommit: return "commit";
+    case PipeTerminal::kSquashMispredict: return "squash_mispredict";
+    case PipeTerminal::kSquashSyscall: return "squash_syscall";
+    case PipeTerminal::kSquashSwap: return "squash_swap";
+  }
+  return "unknown";
+}
+
+/// kPipeview payload bits (TraceEvent::mask).
+enum PipeFlag : std::uint8_t {
+  kPipeWrongPath = 1,    ///< fetched down a mispredicted path
+  kPipeMispredicted = 2, ///< the instruction itself mispredicted
+};
 
 struct TraceEvent {
   EventKind kind = EventKind::kQuantum;
@@ -97,6 +168,9 @@ struct TraceEvent {
   /// machine row carries only fragmentation, per-thread causes live on
   /// the thread rows).
   std::array<std::uint64_t, kNumStallCauses> stalls{};
+  /// kPipeview only: per-stage cycle offsets from the fetch cycle,
+  /// indexed by PipeStage; 0 = the stage was never reached.
+  std::array<std::uint32_t, kNumPipeStages> stage_delta{};
 };
 
 }  // namespace smt::obs

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/metrics.hpp"
+#include "obs/switch_audit.hpp"
+
 namespace smt::obs {
 
 namespace {
@@ -29,11 +32,34 @@ void put_code(std::ostream& os, std::string_view (*namer)(std::uint8_t),
   }
 }
 
-void put_mask(std::ostream& os, const TraceDecoder& dec, std::uint8_t mask) {
+std::string pipe_flag_names(std::uint8_t mask) {
+  std::string out;
+  if ((mask & kPipeWrongPath) != 0) out += "wrong_path";
+  if ((mask & kPipeMispredicted) != 0) {
+    if (!out.empty()) out += '|';
+    out += "mispredicted";
+  }
+  return out.empty() ? "-" : out;
+}
+
+/// The mask column's decoding also depends on the event kind: pipeview
+/// and audit rows carry their own flag bits, everything else carries a
+/// fault::FaultClass bitmask.
+void put_mask(std::ostream& os, const TraceDecoder& dec, const TraceEvent& e) {
+  switch (e.kind) {
+    case EventKind::kPipeview:
+      os << pipe_flag_names(e.mask);
+      return;
+    case EventKind::kSwitchAudit:
+      os << audit_flag_names(e.mask);
+      return;
+    default:
+      break;
+  }
   if (dec.fault_mask != nullptr) {
-    os << dec.fault_mask(mask);
+    os << dec.fault_mask(e.mask);
   } else {
-    os << static_cast<unsigned>(mask);
+    os << static_cast<unsigned>(e.mask);
   }
 }
 
@@ -45,6 +71,7 @@ void put_kind_code(std::ostream& os, const TraceDecoder& dec,
       put_code(os, dec.guard_state, e.code);
       break;
     case EventKind::kPolicySwitch:
+    case EventKind::kSwitchAudit:
       put_code(os, dec.heuristic, e.code);
       break;
     case EventKind::kGuardAction:
@@ -53,10 +80,40 @@ void put_kind_code(std::ostream& os, const TraceDecoder& dec,
     case EventKind::kInvariant:
       put_code(os, dec.invariant, e.code);
       break;
+    case EventKind::kPipeview:
+      os << name(static_cast<PipeTerminal>(e.code));
+      break;
     default:
       os << static_cast<unsigned>(e.code);
       break;
   }
+}
+
+void put_json_string(std::ostream& os, std::string_view s) {
+  os << '"' << json_escape(s) << '"';
+}
+
+/// One build_info JSON object — the same bytes serve as the first JSONL
+/// line and (behind "# ") as the CSV comment header, so one parser reads
+/// both (see obs/trace_read.cpp).
+void put_build_info(std::ostream& os, const RunInfo& info) {
+  char buf[32];
+  os << "{\"event\":\"build_info\",\"tool\":";
+  put_json_string(os, info.tool);
+  os << ",\"version\":";
+  put_json_string(os, info.version);
+  os << ",\"git_sha\":";
+  put_json_string(os, info.git_sha);
+  os << ",\"compiler\":";
+  put_json_string(os, info.compiler);
+  os << ",\"flags\":";
+  put_json_string(os, info.flags);
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(info.seed));
+  os << ",\"seed\":\"" << buf << "\"";
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(info.config_digest));
+  os << ",\"config_digest\":\"" << buf << "\"}";
 }
 
 }  // namespace
@@ -114,10 +171,11 @@ void TraceSink::clear() {
 void TraceSink::write(std::ostream& os, TraceFormat format,
                       const TraceDecoder& dec) const {
   const std::vector<TraceEvent> evs = snapshot();
+  const RunInfo* info = run_info_.has_value() ? &*run_info_ : nullptr;
   switch (format) {
-    case TraceFormat::kCsv: write_csv(os, evs, dec); break;
-    case TraceFormat::kJsonl: write_jsonl(os, evs, dec); break;
-    case TraceFormat::kChrome: write_chrome(os, evs, dec); break;
+    case TraceFormat::kCsv: write_csv(os, evs, dec, info); break;
+    case TraceFormat::kJsonl: write_jsonl(os, evs, dec, info); break;
+    case TraceFormat::kChrome: write_chrome(os, evs, dec, info); break;
   }
 }
 
@@ -125,14 +183,19 @@ void TraceSink::write(std::ostream& os, TraceFormat format,
 // CSV backend — one flat schema for every event kind.
 // ---------------------------------------------------------------------------
 void TraceSink::write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
-                          const TraceDecoder& dec) {
+                          const TraceDecoder& dec, const RunInfo* info) {
+  if (info != nullptr) {
+    os << "# ";
+    put_build_info(os, *info);
+    os << '\n';
+  }
   os << "event,quantum,cycle,tid,span,policy_before,policy_after,code,"
         "faults,value,ipc,fetch_share,mispredict_rate,l1d_miss_rate,"
         "l1i_miss_rate";
   for (std::size_t c = 0; c < kNumStallCauses; ++c) {
     os << ",stall_" << name(static_cast<StallCause>(c));
   }
-  os << '\n';
+  os << ",stages\n";
   for (const TraceEvent& e : evs) {
     os << name(e.kind) << ',' << e.quantum << ',' << e.cycle << ',' << e.tid
        << ',' << e.span << ',';
@@ -142,7 +205,7 @@ void TraceSink::write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
     os << ',';
     put_kind_code(os, dec, e);
     os << ',';
-    put_mask(os, dec, e.mask);
+    put_mask(os, dec, e);
     os << ',' << e.value << ',';
     put_double(os, e.ipc);
     os << ',';
@@ -154,6 +217,13 @@ void TraceSink::write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
     os << ',';
     put_double(os, e.l1i_miss_rate);
     for (const std::uint64_t s : e.stalls) os << ',' << s;
+    os << ',';
+    if (e.kind == EventKind::kPipeview) {
+      for (std::size_t i = 0; i < kNumPipeStages; ++i) {
+        if (i > 0) os << ';';
+        os << e.stage_delta[i];
+      }
+    }
     os << '\n';
   }
 }
@@ -164,7 +234,11 @@ void TraceSink::write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
 // ---------------------------------------------------------------------------
 void TraceSink::write_jsonl(std::ostream& os,
                             const std::vector<TraceEvent>& evs,
-                            const TraceDecoder& /*dec*/) {
+                            const TraceDecoder& /*dec*/, const RunInfo* info) {
+  if (info != nullptr) {
+    put_build_info(os, *info);
+    os << '\n';
+  }
   for (const TraceEvent& e : evs) {
     os << "{\"event\":\"" << name(e.kind) << "\",\"quantum\":" << e.quantum
        << ",\"cycle\":" << e.cycle << ",\"tid\":" << e.tid
@@ -188,7 +262,16 @@ void TraceSink::write_jsonl(std::ostream& os,
       if (c > 0) os << ',';
       os << '"' << name(static_cast<StallCause>(c)) << "\":" << e.stalls[c];
     }
-    os << "}}\n";
+    os << '}';
+    if (e.kind == EventKind::kPipeview) {
+      os << ",\"stages\":[";
+      for (std::size_t i = 0; i < kNumPipeStages; ++i) {
+        if (i > 0) os << ',';
+        os << e.stage_delta[i];
+      }
+      os << ']';
+    }
+    os << "}\n";
   }
 }
 
@@ -199,7 +282,7 @@ void TraceSink::write_jsonl(std::ostream& os,
 // ---------------------------------------------------------------------------
 void TraceSink::write_chrome(std::ostream& os,
                              const std::vector<TraceEvent>& evs,
-                             const TraceDecoder& dec) {
+                             const TraceDecoder& dec, const RunInfo* info) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto next = [&os, &first]() {
@@ -207,6 +290,13 @@ void TraceSink::write_chrome(std::ostream& os,
     first = false;
     os << "\n";
   };
+  if (info != nullptr) {
+    next();
+    os << "{\"name\":\"build_info\",\"cat\":\"meta\",\"ph\":\"i\",\"ts\":0,"
+          "\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":";
+    put_build_info(os, *info);
+    os << '}';
+  }
   for (const TraceEvent& e : evs) {
     switch (e.kind) {
       case EventKind::kQuantum: {
@@ -270,7 +360,7 @@ void TraceSink::write_chrome(std::ostream& os,
       case EventKind::kFault: {
         next();
         os << "{\"name\":\"fault ";
-        put_mask(os, dec, e.mask);
+        put_mask(os, dec, e);
         os << "\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":" << e.cycle
            << ",\"pid\":0,\"tid\":0,\"s\":\"g\"}";
         break;
@@ -290,6 +380,41 @@ void TraceSink::write_chrome(std::ostream& os,
         os << "\",\"cat\":\"check\",\"ph\":\"i\",\"ts\":" << e.cycle
            << ",\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{\"tid\":" << e.tid
            << ",\"value\":" << e.value << "}}";
+        break;
+      }
+      case EventKind::kPipeview: {
+        // One duration slice per sampled instruction, on the fetching
+        // thread's own track so waterfalls line up per thread.
+        next();
+        os << "{\"name\":\"i" << e.value << ' '
+           << name(static_cast<PipeTerminal>(e.code))
+           << "\",\"cat\":\"pipeview\",\"ph\":\"X\",\"ts\":" << e.cycle
+           << ",\"dur\":" << e.span << ",\"pid\":1,\"tid\":" << e.tid
+           << ",\"args\":{\"flags\":\"" << pipe_flag_names(e.mask)
+           << "\",\"stages\":[";
+        for (std::size_t i = 0; i < kNumPipeStages; ++i) {
+          if (i > 0) os << ',';
+          os << e.stage_delta[i];
+        }
+        os << "]}}";
+        break;
+      }
+      case EventKind::kSwitchAudit: {
+        next();
+        os << "{\"name\":\"audit "
+           << name(static_cast<SwitchLabel>(e.value)) << ' ';
+        put_code(os, dec.policy, e.policy_before);
+        os << " -> ";
+        put_code(os, dec.policy, e.policy_after);
+        os << "\",\"cat\":\"adts\",\"ph\":\"i\",\"ts\":" << e.cycle
+           << ",\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{\"heuristic\":\"";
+        put_code(os, dec.heuristic, e.code);
+        os << "\",\"flags\":\"" << audit_flag_names(e.mask)
+           << "\",\"ipc_before\":";
+        put_double(os, e.fetch_share);
+        os << ",\"ipc_after\":";
+        put_double(os, e.ipc);
+        os << "}}";
         break;
       }
     }

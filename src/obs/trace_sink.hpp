@@ -57,6 +57,20 @@ struct TraceDecoder {
   std::string (*fault_mask)(std::uint8_t mask) = nullptr;
 };
 
+/// Build/run provenance stamped as the first line of every trace (and
+/// mirrored under run.* in --stats-json). All values serialize as JSON
+/// strings so 64-bit seeds survive tools that parse numbers as doubles.
+struct RunInfo {
+  std::string tool;      ///< producing binary, e.g. "smtsim"
+  std::string version;   ///< project version
+  std::string git_sha;   ///< commit the binary was built from ("unknown"
+                         ///< outside a git checkout)
+  std::string compiler;  ///< compiler id + version
+  std::string flags;     ///< build type + compile flags
+  std::uint64_t seed = 0;           ///< workload seed of this run
+  std::uint64_t config_digest = 0;  ///< FNV-1a over the resolved SimConfig
+};
+
 class TraceSink {
  public:
   /// `capacity` = maximum buffered events; the ring keeps the newest.
@@ -77,23 +91,35 @@ class TraceSink {
 
   void clear();
 
+  /// Provenance emitted as the first line of write() output. Unset sinks
+  /// write no header, preserving the pre-provenance format exactly.
+  void set_run_info(RunInfo info) { run_info_ = std::move(info); }
+  [[nodiscard]] const std::optional<RunInfo>& run_info() const noexcept {
+    return run_info_;
+  }
+
   /// Serialize every buffered event (oldest first) to `os`.
   void write(std::ostream& os, TraceFormat format,
              const TraceDecoder& dec = {}) const;
 
-  // Backends, usable directly on any event sequence.
+  // Backends, usable directly on any event sequence. `info` (when
+  // non-null) prepends the build_info header line.
   static void write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
-                        const TraceDecoder& dec = {});
+                        const TraceDecoder& dec = {},
+                        const RunInfo* info = nullptr);
   static void write_jsonl(std::ostream& os, const std::vector<TraceEvent>& evs,
-                          const TraceDecoder& dec = {});
+                          const TraceDecoder& dec = {},
+                          const RunInfo* info = nullptr);
   static void write_chrome(std::ostream& os, const std::vector<TraceEvent>& evs,
-                           const TraceDecoder& dec = {});
+                           const TraceDecoder& dec = {},
+                           const RunInfo* info = nullptr);
 
  private:
   std::size_t capacity_;
   std::size_t head_ = 0;  ///< index of the oldest event once wrapped
   bool wrapped_ = false;
   std::uint64_t dropped_ = 0;
+  std::optional<RunInfo> run_info_;
   std::vector<TraceEvent> events_;  ///< ring storage
 };
 

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace_sink.hpp"
+
 namespace smt::pipeline {
 
 namespace {
@@ -122,6 +124,7 @@ void Pipeline::do_commit() {
       assert(!head.wrong_path && "wrong-path instruction reached commit");
 
       const bool is_syscall = head.si.cls == isa::InstrClass::kSyscall;
+      if (head.pview >= 0) pview_close(head, obs::PipeTerminal::kCommit);
       release_instr_resources(tid, head, /*completed_ok=*/true);
       ++t.counters.committed_total;
       ++t.counters.committed_quantum;
@@ -154,6 +157,7 @@ void Pipeline::do_complete() {
     if (d.uid != ref.uid || d.state != DynInstr::State::kIssued) continue;
 
     d.state = DynInstr::State::kDone;
+    if (d.pview >= 0) pview_stamp(d, obs::PipeStage::kWriteback);
     ThreadCounters& c = t.counters;
     if (d.si.cls == isa::InstrClass::kLoad) {
       --c.icount;  // leaves the load queue
@@ -176,7 +180,8 @@ void Pipeline::do_complete() {
         if (d.mispredicted) {
           ++stats_.mispredicts;
           ++c.mispredicts_quantum;
-          squash_from(ref.tid, d.seq + 1, /*replay_correct_path=*/false);
+          squash_from(ref.tid, d.seq + 1, /*replay_correct_path=*/false,
+                      obs::PipeTerminal::kSquashMispredict);
           t.wrong_path_mode = false;
           t.fetch_stall_until =
               std::max<std::uint64_t>(t.fetch_stall_until,
@@ -285,6 +290,10 @@ void Pipeline::do_issue() {
 
     d.state = DynInstr::State::kIssued;
     d.done_cycle = cycle_ + latency;
+    if (d.pview >= 0) {
+      pview_stamp(d, obs::PipeStage::kIssue);
+      pview_stamp(d, obs::PipeStage::kExecute);
+    }
     if (!is_mem) --t.counters.icount;  // mem ops stay in the LQ/SQ
     completion_[d.done_cycle % kCompletionRing].push_back(ref);
 
@@ -366,6 +375,7 @@ void Pipeline::do_dispatch() {
     }
     d.state = DynInstr::State::kQueued;
     d.age = next_age_++;
+    if (d.pview >= 0) pview_stamp(d, obs::PipeStage::kDispatch);
     (fp ? fp_iq_ : int_iq_)
         .push_back(InstrRef{ref.tid, ref.seq, ref.uid, d.age});
     --t.frontend_count;
@@ -497,6 +507,7 @@ void Pipeline::do_fetch() {
       d.state = DynInstr::State::kFrontEnd;
       d.wrong_path = wrong;
       d.dispatch_ready = cycle_ + cfg_.frontend_delay;
+      if (pview_.sink != nullptr) pview_open(d, cand.tid);
 
       ++c.icount;
       ++t.frontend_count;
@@ -643,7 +654,8 @@ void Pipeline::release_instr_resources(std::uint32_t tid, DynInstr& d,
 }
 
 void Pipeline::squash_from(std::uint32_t tid, std::uint64_t first_seq,
-                           bool replay_correct_path) {
+                           bool replay_correct_path,
+                           obs::PipeTerminal cause) {
   Thread& t = threads_[tid];
 
   // Collect replayable correct-path instructions (popped youngest-first,
@@ -654,6 +666,7 @@ void Pipeline::squash_from(std::uint32_t tid, std::uint64_t first_seq,
   to_replay.clear();
   while (!t.window.empty() && t.window.back().seq >= first_seq) {
     DynInstr& d = t.window.back();
+    if (d.pview >= 0) pview_close(d, cause);
     release_instr_resources(tid, d, /*completed_ok=*/false);
     if (replay_correct_path && !d.wrong_path) {
       to_replay.push_back(d.si);
@@ -706,7 +719,8 @@ void Pipeline::syscall_flush(std::uint32_t /*syscall_tid*/) {
   for (std::uint32_t tid = 0; tid < num_threads(); ++tid) {
     Thread& t = threads_[tid];
     if (!t.window.empty()) {
-      squash_from(tid, t.head_seq, /*replay_correct_path=*/true);
+      squash_from(tid, t.head_seq, /*replay_correct_path=*/true,
+                  obs::PipeTerminal::kSquashSyscall);
     }
     t.wrong_path_mode = false;
     t.fetch_stall_until =
@@ -726,7 +740,8 @@ workload::ThreadProgram Pipeline::swap_program(std::uint32_t tid,
                                                std::uint64_t penalty_cycles) {
   Thread& t = threads_[tid];
   if (!t.window.empty()) {
-    squash_from(tid, t.head_seq, /*replay_correct_path=*/false);
+    squash_from(tid, t.head_seq, /*replay_correct_path=*/false,
+                obs::PipeTerminal::kSquashSwap);
   }
   // Pending replay belongs to the outgoing job. Discarding it loses a few
   // already-fetched instructions of that job; the synthetic stream has no
@@ -745,6 +760,121 @@ workload::ThreadProgram Pipeline::swap_program(std::uint32_t tid,
   workload::ThreadProgram outgoing = std::move(t.program);
   t.program = std::move(incoming);
   return outgoing;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeview: opt-in per-instruction lifecycle sampling.
+//
+// An instruction is "opened" at fetch when a sampling window is active:
+// it gets a slot in pview_.records holding a pre-filled kPipeview event
+// whose `cycle` is the fetch cycle. Stage stamps are recorded as deltas
+// from that fetch cycle; step() runs commit→complete→issue→dispatch→fetch,
+// so every post-fetch stage happens in a strictly later cycle and a delta
+// of 0 unambiguously means "stage never reached". The record is emitted
+// and its slot recycled at commit or squash ("closed").
+// ---------------------------------------------------------------------------
+void Pipeline::set_pipeview(obs::TraceSink* sink,
+                            std::vector<PipeviewWindow> windows,
+                            std::uint64_t quantum_cycles) {
+  pview_ = PipeviewState{};
+  // Any in-flight DynInstr::pview indices refer to the previous state's
+  // records (or to a copied-from pipeline's); scrub them so stale slots
+  // can never alias new ones.
+  for (Thread& t : threads_) {
+    for (std::size_t i = 0; i < t.window.size(); ++i) t.window[i].pview = -1;
+  }
+  if (sink == nullptr || windows.empty()) return;
+  std::sort(windows.begin(), windows.end(),
+            [](const PipeviewWindow& a, const PipeviewWindow& b) {
+              return a.start_cycle < b.start_cycle;
+            });
+  pview_.sink = sink;
+  pview_.windows = std::move(windows);
+  pview_.quantum_cycles = quantum_cycles;
+}
+
+void Pipeline::pview_open(DynInstr& d, std::uint32_t tid) {
+  // Advance past exhausted windows.
+  while (pview_.wi < pview_.windows.size() &&
+         pview_.taken >= pview_.windows[pview_.wi].count) {
+    ++pview_.wi;
+    pview_.taken = 0;
+  }
+  if (pview_.wi >= pview_.windows.size()) return;
+  if (cycle_ < pview_.windows[pview_.wi].start_cycle) return;
+  ++pview_.taken;
+
+  std::int32_t slot;
+  if (!pview_.free_slots.empty()) {
+    slot = pview_.free_slots.back();
+    pview_.free_slots.pop_back();
+    pview_.records[static_cast<std::size_t>(slot)] = PipeviewRecord{};
+  } else {
+    slot = static_cast<std::int32_t>(pview_.records.size());
+    pview_.records.emplace_back();
+  }
+  PipeviewRecord& r = pview_.records[static_cast<std::size_t>(slot)];
+  r.open = true;
+  obs::TraceEvent& e = r.ev;
+  e.kind = obs::EventKind::kPipeview;
+  e.cycle = cycle_;
+  e.quantum =
+      pview_.quantum_cycles != 0 ? cycle_ / pview_.quantum_cycles : 0;
+  e.tid = static_cast<std::int32_t>(tid);
+  e.value = static_cast<std::int64_t>(d.seq);
+  if (d.wrong_path) e.mask |= obs::kPipeWrongPath;
+  // Decode/rename happen inside the fixed front-end delay; stamp them from
+  // the configuration (decode one cycle after fetch, rename at the end of
+  // the front end). With frontend_delay == 0 both collapse into fetch.
+  e.stage_delta[static_cast<std::size_t>(obs::PipeStage::kDecode)] =
+      cfg_.frontend_delay >= 1 ? 1u : 0u;
+  e.stage_delta[static_cast<std::size_t>(obs::PipeStage::kRename)] =
+      static_cast<std::uint32_t>(cfg_.frontend_delay);
+  ++pview_.opened;
+  ++pview_.live;
+  d.pview = slot;
+}
+
+void Pipeline::pview_stamp(DynInstr& d, obs::PipeStage stage) {
+  // Stale-index guard: a copied pipeline inherits DynInstr::pview values
+  // but drops the pipeview state (copies drop observers), so indices may
+  // point at nothing. Reset and bail rather than stamping a ghost.
+  const auto idx = static_cast<std::size_t>(d.pview);
+  if (pview_.sink == nullptr || idx >= pview_.records.size() ||
+      !pview_.records[idx].open) {
+    d.pview = -1;
+    return;
+  }
+  obs::TraceEvent& e = pview_.records[idx].ev;
+  e.stage_delta[static_cast<std::size_t>(stage)] =
+      static_cast<std::uint32_t>(cycle_ - e.cycle);
+}
+
+void Pipeline::pview_close(DynInstr& d, obs::PipeTerminal t) {
+  const auto idx = static_cast<std::size_t>(d.pview);
+  if (pview_.sink == nullptr || idx >= pview_.records.size() ||
+      !pview_.records[idx].open) {
+    d.pview = -1;
+    return;
+  }
+  PipeviewRecord& r = pview_.records[idx];
+  obs::TraceEvent& e = r.ev;
+  const auto delta = static_cast<std::uint32_t>(cycle_ - e.cycle);
+  // The decode/rename stamps were prefilled optimistically at open; an
+  // early squash can retire the instruction before it reached them. A
+  // stage past the terminal never happened — zero it.
+  for (std::uint32_t& s : e.stage_delta) {
+    if (s > delta) s = 0;
+  }
+  e.stage_delta[static_cast<std::size_t>(obs::PipeStage::kRetire)] = delta;
+  e.span = delta;
+  e.code = static_cast<std::uint8_t>(t);
+  if (d.mispredicted) e.mask |= obs::kPipeMispredicted;
+  pview_.sink->record(e);
+  r.open = false;
+  --pview_.live;
+  pview_.free_slots.push_back(static_cast<std::int32_t>(idx));
+  d.pview = -1;
 }
 
 void Pipeline::reset_quantum_counters() {

@@ -32,12 +32,25 @@
 #include "mem/hierarchy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stall.hpp"
+#include "obs/trace_event.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/counters.hpp"
 #include "policy/fetch_policy.hpp"
 #include "workload/thread_program.hpp"
 
+namespace smt::obs {
+class TraceSink;
+}  // namespace smt::obs
+
 namespace smt::pipeline {
+
+/// One pipeview sampling window: starting at `start_cycle`, the next
+/// `count` fetched instructions get full lifecycle records. Windows are
+/// consumed in start-cycle order, one at a time.
+struct PipeviewWindow {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t count = 0;
+};
 
 /// Aggregate machine statistics (whole-run).
 struct PipelineStats {
@@ -171,6 +184,30 @@ class Pipeline {
   /// at each quantum boundary).
   void reset_quantum_counters();
 
+  // --- pipeview lifecycle sampling (observability) ------------------------
+  /// Attach per-instruction lifecycle sampling: inside each window,
+  /// fetched instructions get a record stamped at every stage they
+  /// traverse and emitted into `sink` as one kPipeview event when they
+  /// retire (commit or squash). Copying a pipeline drops its sampler —
+  /// the same zero-perturbation contract as trace sinks — and sampling
+  /// never feeds back into simulated state, so a sampled run's results
+  /// are bit-identical to an unsampled one. `quantum_cycles` labels each
+  /// event with the quantum its fetch fell into (0 = unlabelled). Pass a
+  /// null sink to detach.
+  void set_pipeview(obs::TraceSink* sink, std::vector<PipeviewWindow> windows,
+                    std::uint64_t quantum_cycles);
+  [[nodiscard]] bool pipeview_active() const noexcept {
+    return pview_.sink != nullptr;
+  }
+  /// Lifecycle records opened since set_pipeview (sampled fetches).
+  [[nodiscard]] std::uint64_t pipeview_opened() const noexcept {
+    return pview_.opened;
+  }
+  /// Records still in flight (opened but not yet committed/squashed).
+  [[nodiscard]] std::uint64_t pipeview_in_flight() const noexcept {
+    return pview_.live;
+  }
+
   // --- structural audit (src/check) --------------------------------------
   /// Result of a full structural resource audit: every occupancy counter
   /// recomputed from the windows and compared with the incrementally
@@ -255,6 +292,10 @@ class Pipeline {
     bool counted_l1d_outstanding = false;
     std::uint64_t dispatch_ready = 0;  ///< cycle the front end releases it
     std::uint64_t done_cycle = 0;      ///< completion time (valid once issued)
+    /// Pipeview record slot, -1 = untracked. May go stale on a copied
+    /// pipeline (the copy's sampler is empty); the stamp helpers detect
+    /// that and reset it, and set_pipeview scrubs all windows.
+    std::int32_t pview = -1;
   };
 
   struct InstrRef {
@@ -308,9 +349,10 @@ class Pipeline {
   /// When `replay_correct_path` is set, squashed correct-path instructions
   /// are queued for refetch *ahead of* any instructions already waiting in
   /// the replay queue (they are older in program order); wrong-path
-  /// instructions are always discarded.
+  /// instructions are always discarded. `cause` labels the terminal of
+  /// any pipeview-tracked victim.
   void squash_from(std::uint32_t tid, std::uint64_t first_seq,
-                   bool replay_correct_path);
+                   bool replay_correct_path, obs::PipeTerminal cause);
 
   /// Full-machine drain for a system call (paper §6's conservative
   /// assumption: "all threads have to flush out of the pipeline").
@@ -355,6 +397,49 @@ class Pipeline {
 
   PipelineStats stats_;
   obs::StallBreakdown machine_stalls_;  ///< lost slots with no thread to blame
+
+  // --- pipeview sampler ---------------------------------------------------
+  /// One tracked instruction's prefilled kPipeview event; slots are
+  /// recycled through a free list, so memory is bounded by the maximum
+  /// number of simultaneously in-flight tracked instructions.
+  struct PipeviewRecord {
+    obs::TraceEvent ev;
+    bool open = false;
+  };
+  /// All sampler state, isolated so that copying a Pipeline can drop it
+  /// wholesale (copy constructs/assigns to the empty state) while the
+  /// pipeline itself keeps its defaulted copy operations.
+  struct PipeviewState {
+    obs::TraceSink* sink = nullptr;
+    std::vector<PipeviewWindow> windows;  ///< sorted by start_cycle
+    std::size_t wi = 0;                   ///< current window
+    std::uint64_t taken = 0;              ///< samples taken in window wi
+    std::uint64_t quantum_cycles = 0;
+    std::uint64_t opened = 0;  ///< lifetime records opened
+    std::uint64_t live = 0;    ///< records currently in flight
+    std::vector<PipeviewRecord> records;
+    std::vector<std::int32_t> free_slots;
+
+    PipeviewState() = default;
+    PipeviewState(const PipeviewState&) {}  // copies drop the sampler
+    PipeviewState& operator=(const PipeviewState&) {
+      *this = PipeviewState{};
+      return *this;
+    }
+    PipeviewState(PipeviewState&&) = default;
+    PipeviewState& operator=(PipeviewState&&) = default;
+    ~PipeviewState() = default;
+  };
+  PipeviewState pview_;
+
+  /// Open a lifecycle record for `d` if the active window wants one
+  /// (called at fetch; cheap `sink != nullptr` guard at the call site).
+  void pview_open(DynInstr& d, std::uint32_t tid);
+  /// Stamp `d`'s record at `stage` with the current cycle; recovers
+  /// (resets d.pview) when the index is stale from a pipeline copy.
+  void pview_stamp(DynInstr& d, obs::PipeStage stage);
+  /// Finish `d`'s record with terminal `t` and emit the kPipeview event.
+  void pview_close(DynInstr& d, obs::PipeTerminal t);
 
   // --- reused scratch buffers (hot-path allocation avoidance) -----------
   // These hold no state between cycles — each user clears its buffer

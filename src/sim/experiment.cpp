@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "obs/switch_audit.hpp"
 #include "par/thread_pool.hpp"
 
 namespace smt::sim {
@@ -132,7 +133,7 @@ SweepGrid run_fig78_sweep(const ExperimentScale& scale, std::size_t threads) {
       std::vector<double> ipcs;
       double switches = 0.0;
       std::uint64_t benign = 0;
-      std::uint64_t scored = 0;
+      std::uint64_t malignant = 0;
       std::uint64_t low = 0;
       std::uint64_t quanta = 0;
       for (std::size_t k = 0; k < n_mix; ++k) {
@@ -140,16 +141,14 @@ SweepGrid run_fig78_sweep(const ExperimentScale& scale, std::size_t threads) {
         ipcs.push_back(r.ipc());
         switches += static_cast<double>(r.switches);
         benign += r.benign_switches;
-        scored += r.benign_switches + r.malignant_switches;
+        malignant += r.malignant_switches;
         low += r.low_throughput_quanta;
         quanta += r.quanta;
       }
       SweepCell& c = grid.cells[ti * n_thr + mi];
       c.ipc = mean(ipcs);
       c.switches = switches / static_cast<double>(n_mix);
-      c.benign_prob =
-          scored ? static_cast<double>(benign) / static_cast<double>(scored)
-                 : 0.0;
+      c.benign_prob = obs::benign_probability(benign, malignant);
       c.low_quanta_frac =
           quanta ? static_cast<double>(low) / static_cast<double>(quanta)
                  : 0.0;

@@ -50,10 +50,7 @@ struct SampleResult {
                   : 0.0;
   }
   [[nodiscard]] double benign_fraction() const noexcept {
-    const std::uint64_t scored = benign_switches + malignant_switches;
-    return scored ? static_cast<double>(benign_switches) /
-                        static_cast<double>(scored)
-                  : 0.0;
+    return obs::benign_probability(benign_switches, malignant_switches);
   }
   /// Switches per million measured cycles (scale-independent frequency).
   [[nodiscard]] double switches_per_mcycle() const noexcept {

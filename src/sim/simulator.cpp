@@ -1,8 +1,10 @@
 #include "sim/simulator.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
+#include "common/build_info.hpp"
 #include "core/heuristics.hpp"
 #include "workload/app_profile.hpp"
 #include "workload/thread_program.hpp"
@@ -46,6 +48,81 @@ SimConfig make_config(const workload::Mix& mix, std::size_t threads,
   cfg.apps = workload::mix_for_threads(mix, threads, workload_seed);
   cfg.workload_seed = workload_seed;
   return cfg;
+}
+
+std::uint64_t config_digest(const SimConfig& cfg) noexcept {
+  // Field-by-field (never whole structs: padding bytes are indeterminate
+  // and would make the digest non-reproducible across builds).
+  Fnv1a h;
+  for (const std::string& a : cfg.apps) {
+    h.mix_bytes(a.data(), a.size());
+    h.mix(char{0});
+  }
+  h.mix(cfg.workload_seed);
+  h.mix(cfg.fixed_policy);
+  h.mix(cfg.use_adts);
+
+  const pipeline::PipelineConfig& m = cfg.machine;
+  h.mix(m.fetch_width);
+  h.mix(m.fetch_threads);
+  h.mix(m.dispatch_width);
+  h.mix(m.issue_width);
+  h.mix(m.commit_width);
+  h.mix(m.frontend_delay);
+  h.mix(m.int_iq_size);
+  h.mix(m.fp_iq_size);
+  h.mix(m.lsq_size);
+  h.mix(m.fetch_buffer_cap);
+  h.mix(m.rob_per_thread);
+  h.mix(m.int_rename_regs);
+  h.mix(m.fp_rename_regs);
+  h.mix(m.int_alus);
+  h.mix(m.mem_ports);
+  h.mix(m.fp_units);
+  h.mix(m.mispredict_penalty);
+  h.mix(m.btb_miss_penalty);
+  h.mix(m.syscall_flush_penalty);
+
+  const core::AdtsConfig& a = cfg.adts;
+  h.mix(a.quantum_cycles);
+  h.mix(a.ipc_threshold);
+  h.mix(a.heuristic);
+  h.mix(a.conditions.l1_miss_per_cycle);
+  h.mix(a.conditions.lsq_full_per_cycle);
+  h.mix(a.conditions.mispredict_per_cycle);
+  h.mix(a.conditions.cond_branch_per_cycle);
+  h.mix(a.adaptive_conditions);
+  h.mix(a.adaptive_factor);
+  h.mix(a.adaptive_alpha);
+  h.mix(a.dt_check_instrs);
+  h.mix(a.dt_decide_instrs);
+  h.mix(a.instant_switch);
+  h.mix(a.switch_penalty_cycles);
+  h.mix(a.clog_icount_share);
+  h.mix(a.enable_clog_control);
+  h.mix(a.clog_block_cycles);
+  h.mix(a.guard.enabled);
+
+  const fault::FaultConfig& f = cfg.fault;
+  h.mix(f.enabled);
+  h.mix(f.seed);
+  h.mix(f.counter_noise_prob);
+  h.mix(f.counter_noise_magnitude);
+  h.mix(f.counter_freeze_prob);
+  h.mix(f.counter_corrupt_prob);
+  h.mix(f.dt_stall_prob);
+  h.mix(f.dt_stall_quanta);
+  h.mix(f.switch_drop_prob);
+  h.mix(f.switch_delay_prob);
+  h.mix(f.switch_delay_quanta);
+  h.mix(f.blackout_prob);
+  h.mix(f.blackout_cycles);
+
+  for (const pipeline::PipeviewWindow& w : cfg.pipeview) {
+    h.mix(w.start_cycle);
+    h.mix(w.count);
+  }
+  return h.digest();
 }
 
 namespace {
@@ -119,7 +196,16 @@ Simulator& Simulator::operator=(const Simulator& other) {
 
 void Simulator::attach_trace(obs::TraceSink* sink) {
   sink_ = sink;
-  if (sink_ == nullptr) return;
+  if (sink_ == nullptr) {
+    pipe_.set_pipeview(nullptr, {}, 0);
+    return;
+  }
+  if (!cfg_.pipeview.empty()) {
+    pipe_.set_pipeview(sink_, cfg_.pipeview, cfg_.adts.quantum_cycles);
+  }
+  // Audit entries that predate the sink are not traced (the sink records
+  // what happens while attached, like every other event kind).
+  audits_emitted_ = detector_.audit_log().size();
   // Baseline every delta at the current state so the first snapshot spans
   // only cycles recorded under this sink.
   snapshot_cycle_ = pipe_.now();
@@ -164,6 +250,7 @@ void Simulator::step() {
       sink_ != nullptr && pipe_.now() % cfg_.adts.quantum_cycles == 0;
   if (boundary) record_quantum_snapshot();
   const policy::FetchPolicy policy_before = pipe_.policy();
+  const std::size_t audits_before = detector_.audit_log().size();
 
   // The injector runs before the detector so boundary-cycle faults
   // (fresh counter perturbations, stall windows, blackouts) are already
@@ -186,6 +273,7 @@ void Simulator::step() {
 
   // Policy switches can land on any cycle (they apply when the DT's work
   // drains), so compare every step, not just at boundaries.
+  const obs::SwitchAuditLog& audit_log = detector_.audit_log();
   if (pipe_.policy() != policy_before) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kPolicySwitch;
@@ -195,7 +283,26 @@ void Simulator::step() {
     e.policy_after = static_cast<std::uint8_t>(pipe_.policy());
     e.code = static_cast<std::uint8_t>(cfg_.adts.heuristic);
     e.ipc = detector_.last_quantum_ipc();
+    if (audit_log.size() > audits_before) {
+      // This switch was audited (ADTS-decided, not a guard revert/pin):
+      // cross-link its provenance. value = 1-based audit index, span =
+      // decided→applied wait, mask = the audit flags.
+      const obs::SwitchAudit& a = audit_log[audit_log.size() - 1];
+      e.value = audit_log.size();
+      e.span = a.applied_cycle - a.decided_cycle;
+      e.mask = a.flags;
+    }
     sink_->record(e);
+  }
+
+  // Emit finalized audit records. An entry is finalized once scored, or
+  // once a later entry exists (the detector scores at most one pending
+  // switch, in order — a passed-over entry stays neutral forever).
+  while (audits_emitted_ < audit_log.size() &&
+         (audit_log[audits_emitted_].scored ||
+          audits_emitted_ + 1 < audit_log.size())) {
+    sink_->record(obs::to_trace_event(audit_log[audits_emitted_]));
+    ++audits_emitted_;
   }
 
   if (boundary && detector_.config().guard.enabled) {
@@ -348,7 +455,28 @@ void Simulator::run(std::uint64_t cycles) {
   for (std::uint64_t i = 0; i < cycles; ++i) step();
 }
 
+void Simulator::flush_trace() {
+  if (sink_ == nullptr) return;
+  const obs::SwitchAuditLog& audit_log = detector_.audit_log();
+  while (audits_emitted_ < audit_log.size()) {
+    sink_->record(obs::to_trace_event(audit_log[audits_emitted_]));
+    ++audits_emitted_;
+  }
+}
+
 void Simulator::export_metrics(obs::MetricsRegistry& reg) const {
+  // Provenance: which binary + configuration produced this document.
+  const BuildInfo& bi = build_info();
+  reg.set("run.version", bi.version);
+  reg.set("run.git_sha", bi.git_sha);
+  reg.set("run.compiler", bi.compiler);
+  reg.set("run.flags", bi.flags);
+  reg.set("run.seed", cfg_.workload_seed);
+  char digest[24];
+  std::snprintf(digest, sizeof digest, "0x%016llx",
+                static_cast<unsigned long long>(config_digest(cfg_)));
+  reg.set("run.config_digest", std::string_view(digest));
+
   reg.set("config.mode", use_adts_ ? "adts" : "fixed");
   reg.set("config.policy", policy::name(cfg_.fixed_policy));
   reg.set("config.threads", static_cast<std::uint64_t>(cfg_.apps.size()));

@@ -47,7 +47,17 @@ struct SimConfig {
   /// sets for every ctest run — so tests check by default while release
   /// binaries stay unchecked unless asked (--check).
   check::CheckMode check = check::CheckMode::kAuto;
+
+  /// Pipeview sampling windows (--pipeview N@CYCLE): active only while a
+  /// trace sink is attached; empty = no lifecycle sampling.
+  std::vector<pipeline::PipeviewWindow> pipeview;
 };
+
+/// FNV-1a fingerprint of the knobs that determine a run's results (machine
+/// geometry, workload, policy/ADTS/fault/pipeview settings). Stamped into
+/// every trace and stats document (run.config_digest) so two artifacts can
+/// be checked for configuration identity without replaying either.
+[[nodiscard]] std::uint64_t config_digest(const SimConfig& cfg) noexcept;
 
 /// Enum-code → display-name callbacks for the trace writers, wired to the
 /// real policy / heuristic / guard-state / fault-mask names (the obs layer
@@ -108,6 +118,12 @@ class Simulator {
   void attach_trace(obs::TraceSink* sink);
   [[nodiscard]] obs::TraceSink* trace_sink() const noexcept { return sink_; }
 
+  /// Emit any switch-audit records not yet traced — the trailing switch
+  /// that was applied but never reached its scoring boundary stays
+  /// labelled neutral. Call once after the run completes, before
+  /// serializing the sink. No-op without a sink.
+  void flush_trace();
+
   /// Export end-of-run metrics from every subsystem (pipeline always;
   /// detector/guard when ADTS is on; injector when faults are enabled)
   /// plus the run configuration, into `reg` (--stats-json).
@@ -167,6 +183,11 @@ class Simulator {
   std::vector<ThreadBaseline> baselines_;
   bool dt_stalled_prev_ = false;
   std::uint64_t dt_stall_begin_cycle_ = 0;
+  /// Audit-log entries already emitted as kSwitchAudit events. An entry is
+  /// emitted once finalized: scored, or provably never-to-be-scored (a
+  /// later entry exists — the detector scores at most one switch at a
+  /// time, in order). flush_trace() emits the rest.
+  std::size_t audits_emitted_ = 0;
 };
 
 }  // namespace smt::sim

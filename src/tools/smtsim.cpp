@@ -17,6 +17,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/build_info.hpp"
 #include "common/cli.hpp"
 #include "common/exit_codes.hpp"
 #include "common/table.hpp"
@@ -74,8 +75,17 @@ fault injection (all probabilities per quantum, in [0,1]):
 
 observability (normal runs; ignored under --oracle):
   --trace PATH          write the event trace to PATH after the run
+                        ('-' = stdout; stdout then carries only the trace,
+                        so --stats-json -, --fault-report and --csv are
+                        rejected alongside it)
   --trace-format F      trace backend: csv | jsonl | chrome (default
                         jsonl; chrome loads in Perfetto / chrome://tracing)
+  --pipeview N@CYCLE    sample the full pipeline lifecycle (fetch through
+                        commit/squash, cycle-stamped per stage) of the N
+                        instructions fetched from CYCLE onward, as
+                        pipeview events in the trace. Comma-separable:
+                        --pipeview 64@0,64@131072. Needs --trace or
+                        --fault-report. Analyze with smttrace pipeview.
   --stats-json PATH     write end-of-run metrics from every subsystem as
                         nested JSON to PATH ('-' = stdout)
 
@@ -88,6 +98,7 @@ run control:
                         run exits 4
   --csv                 machine-readable output
   --list                list mixes, applications and policies, then exit
+  --version             build provenance (version, commit, compiler, flags)
   --help                this text
 
 exit codes:
@@ -157,6 +168,32 @@ smt::fault::FaultConfig parse_fault_config(const smt::CliArgs& args) {
   return f;
 }
 
+/// Parse one --pipeview window spec "N@CYCLE".
+smt::pipeline::PipeviewWindow parse_pipeview_window(const std::string& spec) {
+  const std::size_t at = spec.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= spec.size()) {
+    throw smt::ConfigError("--pipeview windows are N@CYCLE (e.g. 64@8192), "
+                           "got '" + spec + "'");
+  }
+  smt::pipeline::PipeviewWindow w;
+  try {
+    std::size_t used = 0;
+    w.count = std::stoull(spec.substr(0, at), &used);
+    if (used != at) throw std::invalid_argument(spec);
+    const std::string cyc = spec.substr(at + 1);
+    w.start_cycle = std::stoull(cyc, &used);
+    if (used != cyc.size()) throw std::invalid_argument(spec);
+  } catch (const std::exception&) {
+    throw smt::ConfigError("--pipeview windows are N@CYCLE (e.g. 64@8192), "
+                           "got '" + spec + "'");
+  }
+  if (w.count == 0) {
+    throw smt::ConfigError("--pipeview window '" + spec +
+                           "' samples zero instructions");
+  }
+  return w;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,11 +208,19 @@ int main(int argc, char** argv) {
          "fault-noise", "fault-noise-mag", "fault-freeze", "fault-corrupt",
          "fault-dt-stall", "fault-stall-quanta", "fault-drop", "fault-delay",
          "fault-delay-quanta", "fault-blackout", "fault-blackout-cycles",
-         "fault-report", "trace", "trace-format", "stats-json", "check"},
+         "fault-report", "trace", "trace-format", "pipeview", "stats-json",
+         "check", "version"},
         /*flag_keys=*/{"adts", "instant", "guard", "oracle", "all-policies",
-                       "csv", "list", "help", "fault-report", "check"});
+                       "csv", "list", "help", "fault-report", "check",
+                       "version"});
     if (args.has("help")) {
       std::cout << kUsage;
+      return 0;
+    }
+    if (args.has("version")) {
+      const BuildInfo& bi = build_info();
+      std::cout << "smtsim " << bi.version << " (" << bi.git_sha << ", "
+                << bi.compiler << ", " << bi.flags << ")\n";
       return 0;
     }
     if (args.has("list")) {
@@ -304,6 +349,19 @@ int main(int argc, char** argv) {
 
     cfg.fault = parse_fault_config(args);
 
+    if (args.has("pipeview")) {
+      if (!args.has("trace") && !args.has("fault-report")) {
+        throw ConfigError("--pipeview samples into the event trace and "
+                          "needs --trace (or --fault-report)");
+      }
+      for (const std::string& spec : split_list(args.get_or("pipeview", ""))) {
+        cfg.pipeview.push_back(parse_pipeview_window(spec));
+      }
+      if (cfg.pipeview.empty()) {
+        throw ConfigError("--pipeview needs at least one N@CYCLE window");
+      }
+    }
+
     obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
     if (args.has("trace-format")) {
       const std::string f = args.get_or("trace-format", "jsonl");
@@ -328,8 +386,16 @@ int main(int argc, char** argv) {
                           "' for writing");
       }
     }
+    const bool trace_to_stdout =
+        args.has("trace") && args.get_or("trace", "-") == "-";
+    if (trace_to_stdout &&
+        (stats_to_stdout || args.has("fault-report") || csv)) {
+      throw UsageError("--trace - claims stdout for the trace; it cannot be "
+                       "combined with --stats-json -, --fault-report or "
+                       "--csv (their output would interleave)");
+    }
     std::ofstream trace_out;
-    if (args.has("trace")) {
+    if (args.has("trace") && !trace_to_stdout) {
       const std::string path = args.get_or("trace", "");
       trace_out.open(path);
       if (!trace_out) {
@@ -340,11 +406,22 @@ int main(int argc, char** argv) {
     sim::Simulator sim(cfg);
     obs::TraceSink sink;
     if (args.has("trace") || args.has("fault-report")) {
+      const BuildInfo& bi = build_info();
+      obs::RunInfo info;
+      info.tool = "smtsim";
+      info.version = std::string(bi.version);
+      info.git_sha = std::string(bi.git_sha);
+      info.compiler = std::string(bi.compiler);
+      info.flags = std::string(bi.flags);
+      info.seed = cfg.workload_seed;
+      info.config_digest = sim::config_digest(cfg);
+      sink.set_run_info(info);
       sim.attach_trace(&sink);
     }
     sim.run(warmup);
     const std::uint64_t c0 = sim.committed();
     sim.run(cycles);
+    sim.flush_trace();
     const double ipc =
         static_cast<double>(sim.committed() - c0) / static_cast<double>(cycles);
 
@@ -362,7 +439,9 @@ int main(int argc, char** argv) {
     }
 
     if (args.has("trace")) {
-      sink.write(trace_out, trace_format, sim::trace_decoder());
+      sink.write(trace_to_stdout ? std::cout : trace_out, trace_format,
+                 sim::trace_decoder());
+      if (trace_to_stdout) return check_exit(sim);
     }
 
     if (args.has("fault-report")) {

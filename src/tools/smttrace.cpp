@@ -1,0 +1,599 @@
+// smttrace: offline analysis of smtsim trace files (CSV or JSONL).
+//
+// Subcommands:
+//   summary  <trace>           per-quantum machine table + stall breakdown
+//   switches <trace>           switch-audit table + textual Fig. 7 rates
+//   pipeview <trace>           ASCII waterfall of sampled instruction
+//                              lifecycles (--pipeview samples)
+//   hist     <trace>           stage-latency and quantum-IPC histograms
+//   diff     <trace> <trace2>  per-quantum IPC / stall / switch deltas;
+//                              ends with a greppable
+//                              "N quanta compared, M differing" line
+//
+// A trace path of "-" reads stdin, pairing with `smtsim --trace -`.
+// Both serialized formats decode through obs::read_trace; fields that CSV
+// stores as names but JSONL as numeric codes (policies, heuristics, flag
+// masks) are mapped back through sim::trace_decoder() when numeric, so
+// both formats pretty-print identically. The Chrome format is write-only
+// and rejected by the reader.
+//
+// Exit codes (common/exit_codes.hpp): 0 ok, 2 usage error, 3 unreadable
+// or malformed trace. `diff` exits 0 even when the traces differ — the
+// verdict is the final summary line, not the exit code.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/exit_codes.hpp"
+#include "common/table.hpp"
+#include "obs/histogram.hpp"
+#include "obs/switch_audit.hpp"
+#include "obs/trace_read.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using smt::Table;
+using smt::obs::EventKind;
+using smt::obs::ReadEvent;
+using smt::obs::ReadTrace;
+
+constexpr const char* kUsage =
+    R"(usage: smttrace <command> <trace> [<trace2>] [options]
+
+commands:
+  summary  <trace>            per-quantum machine table + stall breakdown
+  switches <trace>            switch-audit table + per-heuristic benign rates
+  pipeview <trace>            ASCII waterfall of --pipeview lifecycle samples
+  hist     <trace>            stage-latency and quantum-IPC histograms
+  diff     <trace> <trace2>   per-quantum IPC/stall/switch deltas
+
+options:
+  --limit N    cap table / waterfall rows printed (0 = no cap, default)
+  --csv        emit tables as CSV instead of aligned text
+  --help       this text
+
+<trace> is a CSV or JSONL file written by `smtsim --trace`; "-" reads
+stdin. Chrome-format traces are a write-only export and are rejected.
+
+exit codes: 0 ok, 2 usage error, 3 unreadable or malformed trace.
+`diff` always exits 0 when both traces parse; the verdict is the final
+"N quanta compared, M differing" line.
+)";
+
+struct Options {
+  std::size_t limit = 0;  ///< 0 = unlimited
+  bool csv = false;
+};
+
+// ---------------------------------------------------------------------------
+// Decoding helpers: JSONL keeps numeric codes where CSV wrote names; map
+// numeric strings back through the real decoders so output is identical
+// for both formats, and pass CSV's names through verbatim.
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+std::string decode(const std::string& s,
+                   std::string_view (*namer)(std::uint8_t)) {
+  if (namer == nullptr || !all_digits(s)) return s;
+  return std::string(
+      namer(static_cast<std::uint8_t>(std::stoul(s) & 0xffu)));
+}
+
+std::string_view pipe_terminal_name(std::uint8_t code) {
+  return name(static_cast<smt::obs::PipeTerminal>(code));
+}
+
+std::string pipe_flag_names(std::uint8_t mask) {
+  std::string out;
+  if ((mask & smt::obs::kPipeWrongPath) != 0) out += "wrong_path";
+  if ((mask & smt::obs::kPipeMispredicted) != 0) {
+    if (!out.empty()) out += '|';
+    out += "mispredicted";
+  }
+  return out;
+}
+
+/// The mask column's meaning depends on the event kind (mirroring the
+/// writers): pipe flags, audit flags, or a fault-class bitmask.
+std::string decode_mask(const ReadEvent& e,
+                        const smt::obs::TraceDecoder& dec) {
+  if (!all_digits(e.mask)) return e.mask;
+  const auto m = static_cast<std::uint8_t>(std::stoul(e.mask) & 0xffu);
+  switch (e.kind) {
+    case EventKind::kPipeview: return pipe_flag_names(m);
+    case EventKind::kSwitchAudit: return smt::obs::audit_flag_names(m);
+    default:
+      return dec.fault_mask != nullptr ? dec.fault_mask(m) : e.mask;
+  }
+}
+
+std::string ipc_or_dash(double v) {
+  return std::isnan(v) ? "-" : Table::num(v);
+}
+
+void print_table(const Table& t, const Options& opt) {
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+}
+
+std::uint64_t stall_total(const ReadEvent& e) {
+  std::uint64_t t = 0;
+  for (const std::uint64_t s : e.stalls) t += s;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Trace loading
+
+ReadTrace load(const std::string& path) {
+  if (path == "-") return smt::obs::read_trace(std::cin);
+  std::ifstream in(path);
+  if (!in) throw smt::ConfigError("cannot open trace file: " + path);
+  return smt::obs::read_trace(in);
+}
+
+void print_provenance(const ReadTrace& t) {
+  if (t.build.empty()) return;
+  std::cout << "build:";
+  for (const auto& [k, v] : t.build) std::cout << ' ' << k << '=' << v;
+  std::cout << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// summary
+
+int cmd_summary(const ReadTrace& trace, const Options& opt) {
+  const smt::obs::TraceDecoder dec = smt::sim::trace_decoder();
+  print_provenance(trace);
+
+  Table quanta({"quantum", "cycles", "committed", "ipc", "policy", "guard",
+                "faults"});
+  std::array<std::uint64_t, smt::obs::kNumStallCauses> stalls{};
+  std::uint64_t committed = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t quantum_rows = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t guard_actions = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t dt_stall_cycles = 0;
+  std::size_t skipped = 0;
+
+  for (const ReadEvent& e : trace.events) {
+    for (std::size_t i = 0; i < e.stalls.size(); ++i) stalls[i] += e.stalls[i];
+    switch (e.kind) {
+      case EventKind::kQuantum:
+        committed += e.value;
+        cycles += e.span;
+        ++quantum_rows;
+        if (opt.limit != 0 && quanta.rows() >= opt.limit) {
+          ++skipped;
+          break;
+        }
+        quanta.add_row({std::to_string(e.quantum), std::to_string(e.span),
+                        std::to_string(e.value), Table::num(e.ipc),
+                        decode(e.policy_after, dec.policy),
+                        decode(e.code, dec.guard_state),
+                        decode_mask(e, dec)});
+        break;
+      case EventKind::kPolicySwitch: ++switches; break;
+      case EventKind::kGuardAction: ++guard_actions; break;
+      case EventKind::kFault: ++faults; break;
+      case EventKind::kDtStallEnd: dt_stall_cycles += e.span; break;
+      default: break;
+    }
+  }
+
+  print_table(quanta, opt);
+  if (skipped != 0) std::cout << "  ... " << skipped << " more quanta\n";
+  std::cout << '\n';
+
+  std::uint64_t lost = 0;
+  for (const std::uint64_t s : stalls) lost += s;
+  Table st({"stall cause", "lost slots", "share"});
+  for (std::size_t i = 0; i < stalls.size(); ++i) {
+    if (stalls[i] == 0) continue;
+    st.add_row({std::string(name(static_cast<smt::obs::StallCause>(i))),
+                std::to_string(stalls[i]),
+                lost != 0 ? Table::num(static_cast<double>(stalls[i]) /
+                                       static_cast<double>(lost))
+                          : "0"});
+  }
+  print_table(st, opt);
+
+  const double ipc =
+      cycles != 0
+          ? static_cast<double>(committed) / static_cast<double>(cycles)
+          : 0.0;
+  std::cout << '\n'
+            << quantum_rows << " quanta, " << committed << " committed over "
+            << cycles << " cycles (ipc " << Table::num(ipc) << "), "
+            << switches << " policy switches, " << guard_actions
+            << " guard actions, " << faults << " fault events, "
+            << dt_stall_cycles << " dt-stall cycles\n";
+  return smt::kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// switches
+
+int cmd_switches(const ReadTrace& trace, const Options& opt) {
+  const smt::obs::TraceDecoder dec = smt::sim::trace_decoder();
+  print_provenance(trace);
+
+  Table audits({"#", "quantum", "decided", "applied", "wait", "heuristic",
+                "policy", "flags", "ipc_before", "ipc_after", "label"});
+  struct HeurStats {
+    std::uint64_t benign = 0;
+    std::uint64_t malignant = 0;
+    std::uint64_t neutral = 0;
+  };
+  std::map<std::string, HeurStats> by_heuristic;
+  std::uint64_t benign = 0;
+  std::uint64_t malignant = 0;
+  std::uint64_t neutral = 0;
+  std::size_t total = 0;
+  std::size_t skipped = 0;
+
+  for (const ReadEvent& e : trace.events) {
+    if (e.kind != EventKind::kSwitchAudit) continue;
+    ++total;
+    const auto label = static_cast<smt::obs::SwitchLabel>(e.value);
+    const std::string heuristic = decode(e.code, dec.heuristic);
+    HeurStats& h = by_heuristic[heuristic];
+    switch (label) {
+      case smt::obs::SwitchLabel::kBenign:
+        ++benign;
+        ++h.benign;
+        break;
+      case smt::obs::SwitchLabel::kMalignant:
+        ++malignant;
+        ++h.malignant;
+        break;
+      default:
+        ++neutral;
+        ++h.neutral;
+        break;
+    }
+    if (opt.limit != 0 && audits.rows() >= opt.limit) {
+      ++skipped;
+      continue;
+    }
+    audits.add_row(
+        {std::to_string(total), std::to_string(e.quantum),
+         std::to_string(e.cycle - e.span), std::to_string(e.cycle),
+         std::to_string(e.span), heuristic,
+         decode(e.policy_before, dec.policy) + "->" +
+             decode(e.policy_after, dec.policy),
+         decode_mask(e, dec), Table::num(e.fetch_share), ipc_or_dash(e.ipc),
+         std::string(name(label))});
+  }
+
+  print_table(audits, opt);
+  if (skipped != 0) std::cout << "  ... " << skipped << " more switches\n";
+
+  std::cout << '\n'
+            << total << " switches: " << benign << " benign / " << malignant
+            << " malignant / " << neutral << " neutral, P(benign) "
+            << Table::num(smt::obs::benign_probability(benign, malignant))
+            << '\n';
+
+  if (!by_heuristic.empty()) {
+    std::cout << '\n';
+    Table fig7({"heuristic", "switches", "benign", "malignant", "P(benign)"});
+    for (const auto& [h, s] : by_heuristic) {
+      fig7.add_row({h, std::to_string(s.benign + s.malignant + s.neutral),
+                    std::to_string(s.benign), std::to_string(s.malignant),
+                    Table::num(smt::obs::benign_probability(s.benign,
+                                                            s.malignant))});
+    }
+    print_table(fig7, opt);
+  }
+  return smt::kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// pipeview
+
+/// One character per lifecycle stage, placed at its cycle offset in the
+/// lane; later stages overwrite earlier ones that land on the same cycle
+/// (issue and execute share a cycle by construction).
+constexpr std::array<char, smt::obs::kNumPipeStages> kStageChar = {
+    'D',  // decode
+    'R',  // rename
+    'Q',  // dispatched into an issue queue
+    'I',  // issued
+    'E',  // executing
+    'W',  // writeback
+    'C',  // retire slot; overwritten by 'X' for squashes
+};
+
+int cmd_pipeview(const ReadTrace& trace, const Options& opt) {
+  constexpr std::uint64_t kLaneWidth = 64;
+  std::size_t shown = 0;
+  std::size_t total = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t squashed = 0;
+
+  for (const ReadEvent& e : trace.events) {
+    if (e.kind != EventKind::kPipeview) continue;
+    ++total;
+    const std::string terminal = decode(e.code, pipe_terminal_name);
+    const bool commit = terminal == "commit";
+    committed += commit ? 1 : 0;
+    squashed += commit ? 0 : 1;
+    if (opt.limit != 0 && shown >= opt.limit) continue;
+    ++shown;
+
+    // Scale the lane so long lifetimes still fit in kLaneWidth columns.
+    const std::uint64_t scale = e.span / kLaneWidth + 1;
+    std::string lane(static_cast<std::size_t>(e.span / scale) + 1, '.');
+    lane[0] = 'F';
+    for (std::size_t s = 0; s < e.stages.size(); ++s) {
+      if (e.stages[s] == 0) continue;  // never reached
+      lane[static_cast<std::size_t>(e.stages[s] / scale)] = kStageChar[s];
+    }
+    if (!commit) lane[lane.size() - 1] = 'X';
+
+    const std::string mask = decode_mask(e, smt::obs::TraceDecoder{});
+    std::cout << "seq " << e.value << " tid " << e.tid << " fetch@" << e.cycle
+              << " +" << e.span << " " << terminal;
+    if (!mask.empty()) std::cout << " [" << mask << "]";
+    if (scale > 1) std::cout << " (1 col = " << scale << " cycles)";
+    std::cout << "\n  " << lane << "\n";
+  }
+
+  if (total == 0) {
+    std::cout << "no pipeview events in trace (run smtsim with --pipeview "
+                 "N@CYCLE)\n";
+    return smt::kExitOk;
+  }
+  if (shown < total) {
+    std::cout << "... " << (total - shown) << " more instructions\n";
+  }
+  std::cout << '\n'
+            << total << " sampled instructions: " << committed
+            << " committed, " << squashed << " squashed\n";
+  return smt::kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// hist
+
+void render_latency_hist(const std::string& label,
+                         const std::vector<std::uint64_t>& samples) {
+  std::uint64_t max = 0;
+  for (const std::uint64_t v : samples) max = std::max(max, v);
+  smt::obs::Histogram h(0.0, static_cast<double>(max + 1),
+                        std::min<std::size_t>(static_cast<std::size_t>(max) + 1,
+                                              16));
+  for (const std::uint64_t v : samples) h.add(static_cast<double>(v));
+  h.render(std::cout, label);
+  std::cout << '\n';
+}
+
+int cmd_hist(const ReadTrace& trace, const Options& /*opt*/) {
+  constexpr auto kDispatch =
+      static_cast<std::size_t>(smt::obs::PipeStage::kDispatch);
+  constexpr auto kIssue =
+      static_cast<std::size_t>(smt::obs::PipeStage::kIssue);
+  constexpr auto kWriteback =
+      static_cast<std::size_t>(smt::obs::PipeStage::kWriteback);
+
+  std::vector<std::uint64_t> frontend;  // fetch -> dispatch
+  std::vector<std::uint64_t> queue;     // dispatch -> issue
+  std::vector<std::uint64_t> execute;   // issue -> writeback
+  std::vector<std::uint64_t> commit;    // writeback -> retire
+  std::vector<std::uint64_t> lifetime;  // fetch -> retire
+  std::vector<double> quantum_ipc;
+
+  for (const ReadEvent& e : trace.events) {
+    if (e.kind == EventKind::kQuantum) {
+      quantum_ipc.push_back(e.ipc);
+      continue;
+    }
+    if (e.kind != EventKind::kPipeview) continue;
+    lifetime.push_back(e.span);
+    if (e.stages[kDispatch] != 0) {
+      frontend.push_back(e.stages[kDispatch]);
+      if (e.stages[kIssue] != 0) {
+        queue.push_back(e.stages[kIssue] - e.stages[kDispatch]);
+        if (e.stages[kWriteback] != 0) {
+          execute.push_back(e.stages[kWriteback] - e.stages[kIssue]);
+          commit.push_back(e.span - e.stages[kWriteback]);
+        }
+      }
+    }
+  }
+
+  if (lifetime.empty()) {
+    std::cout << "no pipeview events in trace (run smtsim with --pipeview "
+                 "N@CYCLE); stage-latency histograms skipped\n\n";
+  } else {
+    render_latency_hist("frontend latency, fetch->dispatch (cycles)",
+                        frontend);
+    render_latency_hist("queue wait, dispatch->issue (cycles)", queue);
+    render_latency_hist("execute, issue->writeback (cycles)", execute);
+    render_latency_hist("commit wait, writeback->retire (cycles)", commit);
+    render_latency_hist("lifetime, fetch->retire (cycles)", lifetime);
+  }
+
+  if (!quantum_ipc.empty()) {
+    double max = 0.0;
+    for (const double v : quantum_ipc) {
+      if (!std::isnan(v)) max = std::max(max, v);
+    }
+    smt::obs::Histogram h(0.0, max > 0.0 ? max * 1.0001 : 1.0, 16);
+    for (const double v : quantum_ipc) h.add(v);
+    h.render(std::cout, "per-quantum machine IPC");
+  }
+  return smt::kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// diff
+
+struct QuantumFacts {
+  double ipc = 0.0;
+  std::uint64_t committed = 0;
+  std::uint64_t stalls = 0;    ///< lost slots, all causes, all rows
+  std::uint64_t switches = 0;  ///< policy_switch events in the quantum
+  bool present = false;        ///< saw the machine-level kQuantum row
+};
+
+std::map<std::uint64_t, QuantumFacts> collect(const ReadTrace& t) {
+  std::map<std::uint64_t, QuantumFacts> m;
+  for (const ReadEvent& e : t.events) {
+    QuantumFacts& q = m[e.quantum];
+    q.stalls += stall_total(e);
+    switch (e.kind) {
+      case EventKind::kQuantum:
+        q.present = true;
+        q.ipc = e.ipc;
+        q.committed = e.value;
+        break;
+      case EventKind::kPolicySwitch:
+        ++q.switches;
+        break;
+      default:
+        break;
+    }
+  }
+  // Drop quanta that never got a machine summary row (e.g. trailing
+  // flush-only audit events): they have nothing comparable.
+  for (auto it = m.begin(); it != m.end();) {
+    it = it->second.present ? std::next(it) : m.erase(it);
+  }
+  return m;
+}
+
+int cmd_diff(const ReadTrace& a, const ReadTrace& b, const Options& opt) {
+  const auto da = a.build.find("config_digest");
+  const auto db = b.build.find("config_digest");
+  if (da != a.build.end() && db != b.build.end() &&
+      da->second != db->second) {
+    std::cout << "note: config digests differ (" << da->second << " vs "
+              << db->second << ")\n";
+  }
+
+  const std::map<std::uint64_t, QuantumFacts> qa = collect(a);
+  const std::map<std::uint64_t, QuantumFacts> qb = collect(b);
+
+  std::vector<std::uint64_t> keys;
+  for (const auto& [k, v] : qa) keys.push_back(k);
+  for (const auto& [k, v] : qb) {
+    if (qa.find(k) == qa.end()) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+
+  Table t({"quantum", "ipc_a", "ipc_b", "d_ipc", "d_committed", "d_stalls",
+           "d_switches"});
+  std::size_t differing = 0;
+  std::size_t skipped = 0;
+  for (const std::uint64_t k : keys) {
+    const auto ia = qa.find(k);
+    const auto ib = qb.find(k);
+    if (ia == qa.end() || ib == qb.end()) {
+      ++differing;
+      if (opt.limit != 0 && t.rows() >= opt.limit) {
+        ++skipped;
+        continue;
+      }
+      t.add_row({std::to_string(k),
+                 ia != qa.end() ? Table::num(ia->second.ipc) : "-",
+                 ib != qb.end() ? Table::num(ib->second.ipc) : "-", "-", "-",
+                 "-", "-"});
+      continue;
+    }
+    const QuantumFacts& fa = ia->second;
+    const QuantumFacts& fb = ib->second;
+    const bool same = fa.ipc == fb.ipc && fa.committed == fb.committed &&
+                      fa.stalls == fb.stalls && fa.switches == fb.switches;
+    if (same) continue;
+    ++differing;
+    if (opt.limit != 0 && t.rows() >= opt.limit) {
+      ++skipped;
+      continue;
+    }
+    t.add_row({std::to_string(k), Table::num(fa.ipc), Table::num(fb.ipc),
+               Table::num(fb.ipc - fa.ipc),
+               std::to_string(static_cast<std::int64_t>(fb.committed) -
+                              static_cast<std::int64_t>(fa.committed)),
+               std::to_string(static_cast<std::int64_t>(fb.stalls) -
+                              static_cast<std::int64_t>(fa.stalls)),
+               std::to_string(static_cast<std::int64_t>(fb.switches) -
+                              static_cast<std::int64_t>(fa.switches))});
+  }
+
+  if (t.rows() != 0) {
+    print_table(t, opt);
+    if (skipped != 0) std::cout << "  ... " << skipped << " more\n";
+    std::cout << '\n';
+  }
+  std::cout << keys.size() << " quanta compared, " << differing
+            << " differing\n";
+  return smt::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const smt::CliArgs args(argc, argv, {"limit", "csv", "help"},
+                            {"csv", "help"});
+    if (args.has("help")) {
+      std::cout << kUsage;
+      return smt::kExitOk;
+    }
+    const std::vector<std::string>& pos = args.positional();
+    if (pos.empty()) throw smt::UsageError("missing command");
+    const std::string& cmd = pos[0];
+    const bool is_diff = cmd == "diff";
+    if (cmd != "summary" && cmd != "switches" && cmd != "pipeview" &&
+        cmd != "hist" && !is_diff) {
+      throw smt::UsageError("unknown command: " + cmd);
+    }
+    const std::size_t want = is_diff ? 3 : 2;
+    if (pos.size() != want) {
+      throw smt::UsageError(cmd + " takes exactly " +
+                            std::to_string(want - 1) + " trace argument(s)");
+    }
+
+    Options opt;
+    opt.limit = static_cast<std::size_t>(args.get_u64("limit", 0));
+    opt.csv = args.get_bool("csv", false);
+
+    const ReadTrace trace = load(pos[1]);
+    if (cmd == "summary") return cmd_summary(trace, opt);
+    if (cmd == "switches") return cmd_switches(trace, opt);
+    if (cmd == "pipeview") return cmd_pipeview(trace, opt);
+    if (cmd == "hist") return cmd_hist(trace, opt);
+    return cmd_diff(trace, load(pos[2]), opt);
+  } catch (const smt::UsageError& e) {
+    std::cerr << "smttrace: " << e.what() << "\n\n" << kUsage;
+    return smt::kExitUsage;
+  } catch (const smt::obs::TraceReadError& e) {
+    std::cerr << "smttrace: " << e.what() << '\n';
+    return smt::kExitConfig;
+  } catch (const std::exception& e) {
+    std::cerr << "smttrace: " << e.what() << '\n';
+    return smt::kExitConfig;
+  }
+}
