@@ -133,11 +133,18 @@ int main(int argc, char** argv) {
   const bool oracle_ok = oracles_equal(r1, rn);
 
   const unsigned host_cores = std::thread::hardware_concurrency();
+  // On a single-core host the parallel passes still verify the
+  // determinism contract, but their wall-clock ratios only measure
+  // thread-pool overhead. Flag them so perf dashboards and humans
+  // don't read ~1.0x as a parallelism regression.
+  const bool degenerate = host_cores <= 1;
   if (json) {
     std::cout.precision(6);
     std::cout << "{\n\"suite\": \"perf\",\n"
               << "\"host_cores\": " << host_cores << ",\n"
               << "\"jobs\": " << jobs << ",\n"
+              << "\"degenerate_parallel\": " << (degenerate ? "true" : "false")
+              << ",\n"
               << "\"single_run\": {\"mix\": \"" << mix_name
               << "\", \"cycles\": " << cycles << ", \"seconds\": " << single_s
               << ", \"host_kcycles_per_sec\": " << kcps
@@ -155,6 +162,10 @@ int main(int argc, char** argv) {
   } else {
     print_banner(std::cout, "Simulator host throughput (wall-clock)");
     std::cout << "host cores " << host_cores << ", parallel jobs " << jobs
+              << (degenerate
+                      ? "  [single-core host: speedups are degenerate and "
+                        "measure pool overhead only]"
+                      : "")
               << "\n\n"
               << "single run (" << mix_name << ", " << cycles
               << " cycles, serial): " << Table::num(kcps, 0)

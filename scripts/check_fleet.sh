@@ -1,0 +1,193 @@
+#!/usr/bin/env bash
+# Fleet-daemon CI gate: the crash/resume/chaos contract, end to end.
+#
+# 1. Kill-and-resume determinism. A 13-mix batch runs under smtfleetd;
+#    one worker is SIGKILLed mid-run, then the daemon itself is
+#    SIGKILLed once the journal shows ~50% of the jobs settled. A
+#    restarted daemon must finish the batch (exit 0) without starting a
+#    single worker for any digest the journal already recorded as done —
+#    resume serves them from the content-addressed cache.
+# 2. Byte-identity. Cached stats documents must be byte-identical to a
+#    direct serial `smtsim` run of the same job (argv taken from
+#    --list-jobs), proving the fleet adds no nondeterminism.
+# 3. Chaos retries. With deliberate worker kills injected the batch must
+#    still complete (exit 0) after visible retry records.
+# 4. Failure escalation. A worker binary that always fails must exhaust
+#    its retries and fail the batch with exit 6 plus journal 'fail'
+#    records.
+# 5. Graceful drain. SIGTERM mid-batch must yield exit 5 with in-flight
+#    jobs flushed and the journal consistent.
+#
+# Usage: scripts/check_fleet.sh [smtfleetd-binary] [smtsim-binary]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+smtfleetd="${1:-${BUILD_DIR:-$repo/build}/src/smtfleetd}"
+smtsim="${2:-${BUILD_DIR:-$repo/build}/src/smtsim}"
+for bin in "$smtfleetd" "$smtsim"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_fleet: $bin not built" >&2
+    exit 2
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# 13 paper mixes, one policy: enough jobs that killing the daemon at
+# ~50% leaves real work on both sides of the restart. Cycle counts are
+# sized so one job runs long enough to be killed mid-flight.
+cat > "$tmp/grid.batch" <<'EOF'
+cycles 262144
+warmup 32768
+mix ctrl8 mem8 ilp8 cache8 bal1 bal2 bal3 bal4 int8 span8 fp8 var1 var2
+policy ICOUNT
+EOF
+njobs=13
+half=6
+
+common=(--batch "$tmp/grid.batch" --out "$tmp/out" --smtsim "$smtsim"
+        --workers 2 --retries 6 --backoff-ms 20 --poll-ms 10)
+journal="$tmp/out/journal.jsonl"
+
+# One settle record per digest: 'done' (worker ran) or 'cached' (resume).
+settled_count() {
+  [ -f "$journal" ] || { echo 0; return; }
+  grep -c '"kind":"done"\|"kind":"cached"' "$journal" || true
+}
+
+echo "== phase 1: run, SIGKILL a worker mid-run, SIGKILL the daemon at ~50%"
+"$smtfleetd" "${common[@]}" > "$tmp/phase1.log" 2>&1 &
+daemon=$!
+
+# SIGKILL the first worker smtsim we can see. pgrep -P finds the
+# daemon's children; the retry that follows is phase 1's first assert.
+worker_killed=0
+for _ in $(seq 1 200); do
+  if ! kill -0 "$daemon" 2>/dev/null; then break; fi
+  worker="$(pgrep -P "$daemon" || true)"
+  if [ -n "$worker" ]; then
+    kill -9 $(echo "$worker" | head -1) 2>/dev/null || true
+    worker_killed=1
+    break
+  fi
+  sleep 0.05
+done
+if [ "$worker_killed" -ne 1 ]; then
+  echo "check_fleet: never saw a worker to kill" >&2
+  kill -9 "$daemon" 2>/dev/null || true
+  exit 1
+fi
+
+# Wait for ~half the batch to settle, then SIGKILL the daemon: no drain,
+# no flush — the journal tail may even be torn, which resume tolerates.
+daemon_killed=0
+for _ in $(seq 1 600); do
+  if ! kill -0 "$daemon" 2>/dev/null; then break; fi
+  if [ "$(settled_count)" -ge "$half" ]; then
+    kill -9 "$daemon"
+    daemon_killed=1
+    break
+  fi
+  sleep 0.05
+done
+wait "$daemon" 2>/dev/null || true
+if [ "$daemon_killed" -ne 1 ]; then
+  echo "check_fleet: batch finished before the 50% kill point — raise cycles" >&2
+  exit 1
+fi
+
+grep -q '"kind":"retry"' "$journal" \
+  || { echo "check_fleet: worker SIGKILL left no retry record" >&2; exit 1; }
+
+pre_settled="$(settled_count)"
+pre_lines="$(wc -l < "$journal")"
+grep -o '"kind":"done","job":[0-9]*,"digest":"0x[0-9a-f]*"' "$journal" \
+  | grep -o '0x[0-9a-f]*' | sort -u > "$tmp/pre_done.digests"
+echo "   killed daemon with $pre_settled/$njobs settled"
+
+echo "== phase 2: restart must finish without recomputing settled digests"
+"$smtfleetd" "${common[@]}" > "$tmp/phase2.log" 2>&1 \
+  || { echo "check_fleet: resume exited $? (want 0)" >&2; cat "$tmp/phase2.log" >&2; exit 1; }
+
+tail -n +"$((pre_lines + 1))" "$journal" > "$tmp/phase2.journal"
+while read -r digest; do
+  if grep '"kind":"start"' "$tmp/phase2.journal" | grep -q "$digest"; then
+    echo "check_fleet: resume re-ran already-done digest $digest" >&2
+    exit 1
+  fi
+  grep '"kind":"cached"' "$tmp/phase2.journal" | grep -q "$digest" \
+    || { echo "check_fleet: resume did not journal $digest as cached" >&2; exit 1; }
+done < "$tmp/pre_done.digests"
+
+ncache="$(ls "$tmp/out/cache/"*.json | wc -l)"
+if [ "$ncache" -ne "$njobs" ]; then
+  echo "check_fleet: cache has $ncache entries, want $njobs" >&2
+  exit 1
+fi
+echo "   resumed past $(wc -l < "$tmp/pre_done.digests") journaled digests, cache complete"
+
+echo "== byte-identity: cached stats vs direct serial smtsim"
+"$smtfleetd" "${common[@]}" --list-jobs > "$tmp/jobs.tsv"
+head -3 "$tmp/jobs.tsv" | while IFS=$'\t' read -r digest argv; do
+  cmd="${argv% --stats-json -}"
+  $cmd --stats-json "$tmp/direct.json" > /dev/null
+  cmp "$tmp/out/cache/$digest.json" "$tmp/direct.json" \
+    || { echo "check_fleet: cache entry $digest differs from serial run" >&2; exit 1; }
+  echo "   $digest byte-identical"
+done
+
+echo "== chaos: injected worker kills must retry to completion"
+cat > "$tmp/chaos.batch" <<'EOF'
+cycles 262144
+warmup 32768
+mix bal1 mem8
+policy ICOUNT
+EOF
+"$smtfleetd" --batch "$tmp/chaos.batch" --out "$tmp/chaos_out" \
+  --smtsim "$smtsim" --workers 2 --retries 12 --backoff-ms 10 --poll-ms 10 \
+  --chaos-kill 0.6 --chaos-window-ms 60 --chaos-seed 2003 \
+  > "$tmp/chaos.log" 2>&1 \
+  || { echo "check_fleet: chaos batch exited $? (want 0)" >&2; cat "$tmp/chaos.log" >&2; exit 1; }
+grep -q "chaos SIGKILL" "$tmp/chaos.log" \
+  || { echo "check_fleet: chaos run injected no kills (seed drift?)" >&2; exit 1; }
+grep -q '"kind":"retry"' "$tmp/chaos_out/journal.jsonl" \
+  || { echo "check_fleet: chaos kills produced no retry records" >&2; exit 1; }
+echo "   $(grep -c 'chaos SIGKILL' "$tmp/chaos.log") kills injected, batch still completed"
+
+echo "== failure escalation: a hopeless worker must fail the batch with exit 6"
+rc=0
+"$smtfleetd" --batch "$tmp/chaos.batch" --out "$tmp/fail_out" \
+  --smtsim /bin/false --workers 2 --retries 2 --backoff-ms 10 --poll-ms 10 \
+  > "$tmp/fail.log" 2>&1 || rc=$?
+if [ "$rc" -ne 6 ]; then
+  echo "check_fleet: hopeless worker gave exit $rc, want 6" >&2
+  cat "$tmp/fail.log" >&2
+  exit 1
+fi
+grep -q '"kind":"fail"' "$tmp/fail_out/journal.jsonl" \
+  || { echo "check_fleet: no 'fail' records after retry exhaustion" >&2; exit 1; }
+
+echo "== graceful drain: SIGTERM must finish in-flight jobs and exit 5"
+cat > "$tmp/drain.batch" <<'EOF'
+cycles 1048576
+warmup 65536
+mix ctrl8 mem8 ilp8 cache8
+policy ICOUNT
+EOF
+rc=0
+"$smtfleetd" --batch "$tmp/drain.batch" --out "$tmp/drain_out" \
+  --smtsim "$smtsim" --workers 1 --retries 3 --backoff-ms 20 --poll-ms 10 \
+  > "$tmp/drain.log" 2>&1 &
+daemon=$!
+sleep 0.4
+kill -TERM "$daemon"
+rc=0
+wait "$daemon" || rc=$?
+if [ "$rc" -ne 5 ]; then
+  echo "check_fleet: drained daemon exited $rc, want 5" >&2
+  cat "$tmp/drain.log" >&2
+  exit 1
+fi
+
+echo "check_fleet: OK"

@@ -8,7 +8,10 @@
 #    suite has not been regenerated for this tree).
 # 2. Runs bench_sim_throughput --json (single-run kcycles/s + sim-MIPS,
 #    sweep and oracle serial-vs-parallel wall-clock with built-in identity
-#    checks) and writes the document to BENCH_perf.json.
+#    checks) and writes the document to BENCH_perf.json. On a 1-core
+#    host the document carries "degenerate_parallel": true — the
+#    speedup fields then measure thread-pool overhead, not parallelism,
+#    and must not be compared against multi-core baselines.
 #
 # Usage: scripts/run_perf_suite.sh [output.json]
 #   BUILD_DIR        build tree (default: build)

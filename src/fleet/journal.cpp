@@ -1,0 +1,123 @@
+#include "fleet/journal.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+namespace smt::fleet {
+
+namespace {
+
+constexpr std::array<const char*, 6> kKindNames = {
+    "batch", "cached", "start", "done", "retry", "fail"};
+
+std::optional<JournalKind> parse_kind(const std::string& s) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (s == kKindNames[i]) return static_cast<JournalKind>(i);
+  }
+  return std::nullopt;
+}
+
+/// Extract the raw token after `"key":` — a number, or the inside of a
+/// quoted string. Returns nullopt when the key is absent or the line is
+/// truncated mid-value (torn write).
+std::optional<std::string> field(const std::string& line,
+                                 const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  if (i >= line.size()) return std::nullopt;
+  if (line[i] == '"') {
+    const std::size_t end = line.find('"', i + 1);
+    if (end == std::string::npos) return std::nullopt;  // torn string
+    return line.substr(i + 1, end - i - 1);
+  }
+  std::size_t end = i;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  if (end == line.size()) return std::nullopt;  // torn number
+  return line.substr(i, end - i);
+}
+
+std::optional<std::uint64_t> field_u64(const std::string& line,
+                                       const std::string& key, int base = 10) {
+  const std::optional<std::string> raw = field(line, key);
+  if (!raw || raw->empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw->c_str(), &end, base);
+  if (end == raw->c_str() || *end != '\0' || errno != 0) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (c == '\n') {
+      out << "\\n";
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+const char* name(JournalKind kind) noexcept {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+void write_record(std::ostream& out, const JournalRecord& rec) {
+  char digest[24];
+  std::snprintf(digest, sizeof digest, "0x%016llx",
+                static_cast<unsigned long long>(rec.digest));
+  out << "{\"kind\":\"" << name(rec.kind) << "\",\"job\":" << rec.job
+      << ",\"digest\":\"" << digest << "\",\"attempt\":" << rec.attempt;
+  if (!rec.detail.empty()) {
+    out << ",\"detail\":\"";
+    write_escaped(out, rec.detail);
+    out << '"';
+  }
+  out << "}\n";
+}
+
+std::optional<JournalRecord> parse_record(const std::string& line) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') {
+    return std::nullopt;  // blank tail or torn write
+  }
+  const std::optional<std::string> kind_raw = field(line, "kind");
+  if (!kind_raw) return std::nullopt;
+  const std::optional<JournalKind> kind = parse_kind(*kind_raw);
+  if (!kind) return std::nullopt;
+  const std::optional<std::uint64_t> job = field_u64(line, "job");
+  const std::optional<std::uint64_t> digest = field_u64(line, "digest", 16);
+  const std::optional<std::uint64_t> attempt = field_u64(line, "attempt");
+  if (!job || !digest || !attempt) return std::nullopt;
+
+  JournalRecord rec;
+  rec.kind = *kind;
+  rec.job = *job;
+  rec.digest = *digest;
+  rec.attempt = static_cast<std::uint32_t>(*attempt);
+  if (const std::optional<std::string> detail = field(line, "detail")) {
+    rec.detail = *detail;  // escapes left as-is; detail is display-only
+  }
+  return rec;
+}
+
+std::vector<JournalRecord> read_journal(std::istream& in) {
+  std::vector<JournalRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (std::optional<JournalRecord> rec = parse_record(line)) {
+      records.push_back(std::move(*rec));
+    }
+  }
+  return records;
+}
+
+}  // namespace smt::fleet

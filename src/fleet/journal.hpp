@@ -1,0 +1,55 @@
+// Append-only JSONL journal — the fleet daemon's crash-recovery record.
+//
+// smtfleetd appends one record per state transition (batch opened, job
+// started / finished / requeued / failed / served from cache) and
+// flushes after every line, so the journal on disk is always a prefix
+// of the true history. Recovery is a pure fold over the records: a
+// `done` or `cached` record settles that digest forever; everything
+// else is informational. A torn final line (daemon SIGKILLed mid-write)
+// parses as "no record" and is skipped — the job it described simply
+// re-runs, which is safe because results only count once renamed into
+// the content-addressed cache.
+//
+// Writer and reader take explicit streams (repo rule: library code
+// never owns a FILE or prints); the daemon owns the actual file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smt::fleet {
+
+enum class JournalKind : std::uint8_t {
+  kBatch,   ///< header: batch digest + job count; first line of a journal
+  kCached,  ///< job settled by a pre-existing cache entry (no worker run)
+  kStart,   ///< worker process launched for the job (attempt counted)
+  kDone,    ///< worker succeeded; result committed to the cache
+  kRetry,   ///< worker crashed / timed out / was cancelled; job requeued
+  kFail,    ///< retries exhausted or permanent error; job settled failed
+};
+
+[[nodiscard]] const char* name(JournalKind kind) noexcept;
+
+struct JournalRecord {
+  JournalKind kind = JournalKind::kBatch;
+  std::uint64_t job = 0;     ///< job index in batch order (kBatch: job count)
+  std::uint64_t digest = 0;  ///< job digest (kBatch: batch digest)
+  std::uint32_t attempt = 0;
+  std::string detail;        ///< human reason ("signal 9; retry in 250 ms")
+};
+
+/// Serialize one record as a single JSON line (newline included). The
+/// caller flushes; one flushed line == one durable state transition.
+void write_record(std::ostream& out, const JournalRecord& rec);
+
+/// Parse one journal line; nullopt for blank, torn or foreign lines
+/// (recovery must never die on a half-written tail).
+[[nodiscard]] std::optional<JournalRecord> parse_record(const std::string& line);
+
+/// Read every parseable record from a journal stream, in order.
+[[nodiscard]] std::vector<JournalRecord> read_journal(std::istream& in);
+
+}  // namespace smt::fleet

@@ -1,0 +1,71 @@
+#include "fleet/result_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "fleet/job_spec.hpp"
+
+namespace smt::fleet {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw std::runtime_error("result cache: cannot create directory '" + dir_ +
+                             "'");
+  }
+}
+
+std::string ResultCache::path_for(std::uint64_t digest) const {
+  return dir_ + "/" + digest_hex(digest) + ".json";
+}
+
+std::string ResultCache::tmp_path_for(std::uint64_t digest,
+                                      std::uint32_t attempt) const {
+  return dir_ + "/" + digest_hex(digest) + ".attempt" +
+         std::to_string(attempt) + ".tmp";
+}
+
+bool ResultCache::contains(std::uint64_t digest) const {
+  std::error_code ec;
+  return fs::is_regular_file(path_for(digest), ec);
+}
+
+bool ResultCache::commit(const std::string& tmp_path,
+                         std::uint64_t digest) const {
+  std::error_code ec;
+  fs::rename(tmp_path, path_for(digest), ec);
+  return !ec;
+}
+
+void ResultCache::discard(const std::string& tmp_path) const {
+  std::error_code ec;
+  fs::remove(tmp_path, ec);
+}
+
+std::optional<std::uint64_t> stats_config_digest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string needle = "\"config_digest\":\"";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) continue;
+    const std::size_t start = at + needle.size();
+    const std::size_t end = line.find('"', start);
+    if (end == std::string::npos) return std::nullopt;
+    const std::string hex = line.substr(start, end - start);
+    char* endp = nullptr;
+    const unsigned long long v = std::strtoull(hex.c_str(), &endp, 16);
+    if (endp == hex.c_str() || *endp != '\0') return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+  }
+  return std::nullopt;
+}
+
+}  // namespace smt::fleet

@@ -1,0 +1,52 @@
+// Content-addressed result cache: one stats-JSON file per job digest.
+//
+// Layout: <dir>/<16-hex-digest>.json. Workers never write a final path:
+// the daemon points each worker at a private .tmp file and renames it
+// into place only after the worker exits 0 and the document's embedded
+// run.config_digest matches the job (guarding against a stale or wrong
+// --smtsim binary). rename(2) within one directory is atomic, so a
+// cache entry either exists complete or not at all — a SIGKILL at any
+// point leaves no partial entry, which is what makes "never recompute a
+// cached digest" safe to promise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace smt::fleet {
+
+class ResultCache {
+ public:
+  /// Opens (creating if needed) the cache directory. Throws
+  /// std::runtime_error if the directory cannot be created.
+  explicit ResultCache(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Final path for a digest (whether or not it exists yet).
+  [[nodiscard]] std::string path_for(std::uint64_t digest) const;
+
+  /// Private scratch path for one attempt at a digest.
+  [[nodiscard]] std::string tmp_path_for(std::uint64_t digest,
+                                         std::uint32_t attempt) const;
+
+  [[nodiscard]] bool contains(std::uint64_t digest) const;
+
+  /// Atomically publish `tmp_path` as the entry for `digest`.
+  /// False if the rename failed (tmp missing, permissions).
+  [[nodiscard]] bool commit(const std::string& tmp_path, std::uint64_t digest) const;
+
+  /// Best-effort removal of a failed attempt's scratch file.
+  void discard(const std::string& tmp_path) const;
+
+ private:
+  std::string dir_;
+};
+
+/// The run.config_digest stamped inside a stats-JSON document, if
+/// present — the integrity cross-check applied before commit().
+[[nodiscard]] std::optional<std::uint64_t> stats_config_digest(
+    const std::string& path);
+
+}  // namespace smt::fleet

@@ -1,0 +1,184 @@
+#include "fleet/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/exit_codes.hpp"
+
+namespace smt::fleet {
+
+const char* name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kPending: return "pending";
+    case JobState::kWaitingRetry: return "waiting-retry";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCached: return "cached";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* name(ExitClass cls) noexcept {
+  switch (cls) {
+    case ExitClass::kSuccess: return "success";
+    case ExitClass::kCancelled: return "cancelled";
+    case ExitClass::kPermanent: return "permanent";
+    case ExitClass::kCrash: return "crash";
+  }
+  return "?";
+}
+
+ExitClass classify_exit(const WorkerExit& e) noexcept {
+  if (e.signaled) return ExitClass::kCrash;
+  switch (e.status) {
+    case kExitOk:
+      return ExitClass::kSuccess;
+    case kExitCancelled:
+      return ExitClass::kCancelled;
+    case kExitUsage:
+    case kExitConfig:
+    case kExitCheck:
+    case 127:  // exec failed: the worker binary itself is missing/broken
+      return ExitClass::kPermanent;
+    default:
+      return ExitClass::kCrash;
+  }
+}
+
+FleetScheduler::FleetScheduler(const FleetConfig& cfg) : cfg_(cfg) {
+  if (cfg_.max_workers == 0) cfg_.max_workers = 1;
+  if (cfg_.max_attempts == 0) cfg_.max_attempts = 1;
+}
+
+std::size_t FleetScheduler::add_job() {
+  jobs_.emplace_back();
+  return jobs_.size() - 1;
+}
+
+void FleetScheduler::mark_cached(std::size_t job) {
+  JobStatus& j = jobs_[job];
+  assert(j.state == JobState::kPending);
+  j.state = JobState::kCached;
+  ++settled_;
+}
+
+std::uint64_t FleetScheduler::backoff_ms(std::uint32_t attempt) const noexcept {
+  if (attempt == 0) return 0;
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, 62);
+  const std::uint64_t raw = cfg_.backoff_base_ms << shift;
+  // Shift overflow shows up as a smaller value; clamp handles both that
+  // and the configured ceiling.
+  if (shift > 0 && raw < cfg_.backoff_base_ms) return cfg_.backoff_cap_ms;
+  return std::min(raw, cfg_.backoff_cap_ms);
+}
+
+std::optional<std::size_t> FleetScheduler::next_ready(
+    std::uint64_t now_ms) const {
+  if (draining_ || running_ >= cfg_.max_workers) return std::nullopt;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobStatus& j = jobs_[i];
+    if (j.state == JobState::kPending) return i;
+    if (j.state == JobState::kWaitingRetry && now_ms >= j.retry_at_ms) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+void FleetScheduler::on_started(std::size_t job, std::uint64_t now_ms) {
+  JobStatus& j = jobs_[job];
+  assert(j.state == JobState::kPending || j.state == JobState::kWaitingRetry);
+  j.state = JobState::kRunning;
+  ++j.attempts;
+  j.started_at_ms = now_ms;
+  j.deadline_ms = cfg_.timeout_ms == 0 ? 0 : now_ms + cfg_.timeout_ms;
+  ++running_;
+}
+
+Outcome FleetScheduler::settle_attempt(std::size_t job,
+                                       const std::string& reason,
+                                       std::uint64_t now_ms) {
+  JobStatus& j = jobs_[job];
+  if (j.attempts >= cfg_.max_attempts) {
+    j.state = JobState::kFailed;
+    j.failure = reason + " (attempt " + std::to_string(j.attempts) + "/" +
+                std::to_string(cfg_.max_attempts) + ", retries exhausted)";
+    ++settled_;
+    ++failed_;
+    return Outcome::kFailed;
+  }
+  j.state = JobState::kWaitingRetry;
+  j.retry_at_ms = now_ms + backoff_ms(j.attempts);
+  return Outcome::kRequeued;
+}
+
+Outcome FleetScheduler::on_exit(std::size_t job, const WorkerExit& e,
+                                std::uint64_t now_ms) {
+  JobStatus& j = jobs_[job];
+  assert(j.state == JobState::kRunning);
+  --running_;
+  const std::string how = e.signaled
+                              ? "signal " + std::to_string(e.status)
+                              : "exit " + std::to_string(e.status);
+  switch (classify_exit(e)) {
+    case ExitClass::kSuccess:
+      j.state = JobState::kDone;
+      ++settled_;
+      return Outcome::kAccepted;
+    case ExitClass::kPermanent:
+      j.state = JobState::kFailed;
+      j.failure = how + " (permanent)";
+      ++settled_;
+      ++failed_;
+      return Outcome::kFailed;
+    case ExitClass::kCancelled:
+    case ExitClass::kCrash:
+      return settle_attempt(job, how, now_ms);
+  }
+  return Outcome::kFailed;  // unreachable
+}
+
+std::vector<std::size_t> FleetScheduler::expired(std::uint64_t now_ms) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobStatus& j = jobs_[i];
+    if (j.state == JobState::kRunning && j.deadline_ms != 0 &&
+        now_ms >= j.deadline_ms) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Outcome FleetScheduler::on_timeout(std::size_t job, std::uint64_t now_ms) {
+  assert(jobs_[job].state == JobState::kRunning);
+  --running_;
+  return settle_attempt(
+      job, "timeout after " + std::to_string(cfg_.timeout_ms) + " ms", now_ms);
+}
+
+std::optional<std::uint64_t> FleetScheduler::next_wake_ms(
+    std::uint64_t now_ms) const {
+  std::optional<std::uint64_t> wake;
+  const auto consider = [&wake, now_ms](std::uint64_t t) {
+    const std::uint64_t at = std::max(t, now_ms);
+    if (!wake || at < *wake) wake = at;
+  };
+  for (const JobStatus& j : jobs_) {
+    if (j.state == JobState::kWaitingRetry && !draining_) {
+      consider(j.retry_at_ms);
+    } else if (j.state == JobState::kRunning && j.deadline_ms != 0) {
+      consider(j.deadline_ms);
+    }
+  }
+  return wake;
+}
+
+int FleetScheduler::batch_exit_code() const noexcept {
+  if (failed_ > 0) return kExitBatchFailed;
+  if (!all_settled()) return kExitCancelled;
+  return kExitOk;
+}
+
+}  // namespace smt::fleet

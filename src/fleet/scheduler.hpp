@@ -1,0 +1,146 @@
+// Fleet scheduler: the crash/retry/timeout state machine, time-free.
+//
+// The scheduler never reads a clock: every entry point takes `now_ms`
+// (the daemon passes CLOCK_MONOTONIC, tests pass literals), and every
+// decision — backoff deadline, timeout expiry, retry cap, final batch
+// exit code — is a pure function of the fed event sequence. That keeps
+// the robustness logic inside the repo's determinism fence
+// (scripts/check_lint.sh) and unit-testable without processes.
+//
+// Job lifecycle:
+//
+//   pending ──start──> running ──exit 0──────────────> done
+//      ^                  │ ├──exit 2/3/4/127────────> failed   (permanent:
+//      │                  │ │                           deterministic input
+//      │                  │ │                           rejection; a retry
+//      │                  │ │                           would fail the same)
+//      │                  │ ├──signal/cancel/timeout─> waiting-retry
+//      │                  │ │      (attempt < cap)       │ backoff elapses
+//      │                  │ └──ditto, attempt == cap──> failed
+//      └──────────────────┴──(cached digest)──────────> cached
+//
+// Backoff is deterministic: min(cap, base << (attempt-1)) ms, no jitter —
+// resuming a journal replays the same schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smt::fleet {
+
+struct FleetConfig {
+  std::size_t max_workers = 2;
+  /// Worker starts per job before it settles failed. >= 1.
+  std::uint32_t max_attempts = 3;
+  /// Per-job wall-clock budget; 0 disables hang detection.
+  std::uint64_t timeout_ms = 120000;
+  std::uint64_t backoff_base_ms = 250;
+  std::uint64_t backoff_cap_ms = 8000;
+};
+
+enum class JobState : std::uint8_t {
+  kPending,
+  kWaitingRetry,
+  kRunning,
+  kDone,
+  kCached,
+  kFailed,
+};
+[[nodiscard]] const char* name(JobState state) noexcept;
+
+/// How a worker process ended, as reported by waitpid.
+struct WorkerExit {
+  bool signaled = false;
+  int status = 0;  ///< exit code, or signal number when signaled
+};
+
+enum class ExitClass : std::uint8_t {
+  kSuccess,    ///< exit 0
+  kCancelled,  ///< exit kExitCancelled: worker flushed and quit on SIGTERM
+  kPermanent,  ///< deterministic failure (usage/config/check error,
+               ///< exec failure 127): retrying cannot change the outcome
+  kCrash,      ///< killed by a signal or unexpected exit code
+};
+[[nodiscard]] ExitClass classify_exit(const WorkerExit& e) noexcept;
+[[nodiscard]] const char* name(ExitClass cls) noexcept;
+
+/// Scheduler's verdict on a finished attempt.
+enum class Outcome : std::uint8_t { kAccepted, kRequeued, kFailed };
+
+struct JobStatus {
+  JobState state = JobState::kPending;
+  std::uint32_t attempts = 0;      ///< worker starts so far
+  std::uint64_t retry_at_ms = 0;   ///< kWaitingRetry: not before this time
+  std::uint64_t started_at_ms = 0;
+  std::uint64_t deadline_ms = 0;   ///< kRunning: 0 = no timeout
+  std::string failure;             ///< kFailed: human reason
+};
+
+class FleetScheduler {
+ public:
+  explicit FleetScheduler(const FleetConfig& cfg);
+
+  /// Register the next job (index == registration order).
+  std::size_t add_job();
+
+  /// Settle a job from the result cache; legal only while pending.
+  void mark_cached(std::size_t job);
+
+  /// Lowest-index job that may start now: pending, or waiting-retry with
+  /// its backoff elapsed. Honors max_workers and draining.
+  [[nodiscard]] std::optional<std::size_t> next_ready(
+      std::uint64_t now_ms) const;
+
+  void on_started(std::size_t job, std::uint64_t now_ms);
+
+  /// Worker for `job` was reaped. Returns the verdict; on kRequeued the
+  /// job waits out its backoff, on kFailed it is settled permanently.
+  Outcome on_exit(std::size_t job, const WorkerExit& e, std::uint64_t now_ms);
+
+  /// Running jobs whose deadline has passed; the daemon kills each and
+  /// reports the reap through on_timeout (not on_exit).
+  [[nodiscard]] std::vector<std::size_t> expired(std::uint64_t now_ms) const;
+  Outcome on_timeout(std::size_t job, std::uint64_t now_ms);
+
+  /// Drain mode: in-flight jobs finish, nothing new starts.
+  void set_draining() noexcept { draining_ = true; }
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+
+  [[nodiscard]] const JobStatus& job(std::size_t i) const { return jobs_[i]; }
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+  [[nodiscard]] std::size_t running() const noexcept { return running_; }
+  [[nodiscard]] std::size_t settled() const noexcept { return settled_; }
+  [[nodiscard]] bool all_settled() const noexcept {
+    return settled_ == jobs_.size();
+  }
+  [[nodiscard]] std::size_t failed() const noexcept { return failed_; }
+
+  /// Earliest future instant at which a decision can change (soonest
+  /// retry deadline or running-job timeout); nullopt when nothing is
+  /// scheduled. The daemon sleeps no longer than this.
+  [[nodiscard]] std::optional<std::uint64_t> next_wake_ms(
+      std::uint64_t now_ms) const;
+
+  /// Batch verdict: kExitOk when every job is done/cached, kExitBatchFailed
+  /// when any settled failed, kExitCancelled when drained with work left.
+  [[nodiscard]] int batch_exit_code() const noexcept;
+
+  /// The deterministic backoff schedule (exposed so tests can assert
+  /// ordering without replaying arithmetic).
+  [[nodiscard]] std::uint64_t backoff_ms(std::uint32_t attempt) const noexcept;
+
+ private:
+  Outcome settle_attempt(std::size_t job, const std::string& reason,
+                         std::uint64_t now_ms);
+
+  FleetConfig cfg_;
+  std::vector<JobStatus> jobs_;
+  std::size_t running_ = 0;
+  std::size_t settled_ = 0;
+  std::size_t failed_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace smt::fleet

@@ -1,0 +1,76 @@
+#include "fleet/supervisor.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+
+namespace smt::fleet {
+
+int WorkerSupervisor::spawn(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    // Child. Workers get default signal dispositions: the daemon's
+    // drain handler must not be inherited, and SIGTERM must reach the
+    // worker's own graceful-shutdown handler (smtsim installs one).
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    // Results travel through --stats-json files; the worker's human
+    // report would interleave with the daemon's progress stream, so
+    // stdout is dropped. stderr stays inherited — worker error text is
+    // the only clue when a job fails permanently.
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::close(devnull);
+    }
+    ::execvp(cargv[0], cargv.data());
+    _exit(127);  // exec failed; classified permanent by the scheduler
+  }
+  live_.push_back(static_cast<int>(pid));
+  return static_cast<int>(pid);
+}
+
+std::vector<ReapedWorker> WorkerSupervisor::poll() {
+  std::vector<ReapedWorker> reaped;
+  for (;;) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid <= 0) break;
+    const auto it = std::find(live_.begin(), live_.end(), static_cast<int>(pid));
+    if (it == live_.end()) continue;  // not one of ours
+    live_.erase(it);
+    ReapedWorker r;
+    r.pid = static_cast<int>(pid);
+    if (WIFSIGNALED(status)) {
+      r.exit.signaled = true;
+      r.exit.status = WTERMSIG(status);
+    } else {
+      r.exit.signaled = false;
+      r.exit.status = WIFEXITED(status) ? WEXITSTATUS(status) : 127;
+    }
+    reaped.push_back(r);
+  }
+  return reaped;
+}
+
+bool WorkerSupervisor::kill_worker(int pid, int signo) {
+  if (std::find(live_.begin(), live_.end(), pid) == live_.end()) return false;
+  return ::kill(static_cast<pid_t>(pid), signo) == 0;
+}
+
+void WorkerSupervisor::kill_all(int signo) {
+  for (const int pid : live_) ::kill(static_cast<pid_t>(pid), signo);
+}
+
+}  // namespace smt::fleet

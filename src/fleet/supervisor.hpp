@@ -1,0 +1,50 @@
+// Worker supervisor: fork/exec + reaping, nothing else.
+//
+// The supervisor owns the POSIX mechanics of running worker processes —
+// spawning an argv, polling for exits without blocking, delivering
+// signals — and none of the policy (timeouts, retries, scheduling live
+// in FleetScheduler, wall-clock in the daemon). It never reads a clock
+// and never prints, so it stays inside the library determinism fence;
+// the nondeterminism of process scheduling is confined to *when* poll()
+// reports an exit, which the scheduler is built to absorb.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/scheduler.hpp"  // WorkerExit
+
+namespace smt::fleet {
+
+/// One reaped child.
+struct ReapedWorker {
+  int pid = -1;
+  WorkerExit exit;
+};
+
+class WorkerSupervisor {
+ public:
+  /// fork/exec `argv` (argv[0] = binary path; PATH is searched). Returns
+  /// the pid, or -1 if fork failed. An exec failure inside the child
+  /// surfaces as that pid exiting 127 (ExitClass::kPermanent).
+  [[nodiscard]] int spawn(const std::vector<std::string>& argv);
+
+  /// Reap every child that has exited since the last call (non-blocking).
+  [[nodiscard]] std::vector<ReapedWorker> poll();
+
+  /// Send `signo` to one live worker; false if pid is not ours.
+  bool kill_worker(int pid, int signo);
+
+  /// Send `signo` to every live worker (force-quit / chaos sweeps).
+  void kill_all(int signo);
+
+  [[nodiscard]] std::size_t live() const noexcept { return live_.size(); }
+  [[nodiscard]] const std::vector<int>& live_pids() const noexcept {
+    return live_;
+  }
+
+ private:
+  std::vector<int> live_;
+};
+
+}  // namespace smt::fleet

@@ -13,6 +13,8 @@
 //   smtsim --mix bal1 --oracle --quanta 16
 //   smtsim --mix fp8 --threads 4 --csv
 //   smtsim --mix mem8 --adts --guard --fault-corrupt 0.3 --fault-report
+#include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -106,7 +108,35 @@ exit codes:
   2  usage error (unknown or malformed option)
   3  configuration error (valid syntax, invalid value)
   4  invariant violations detected (--check / SMT_CHECK=1)
+  5  cancelled: SIGTERM/SIGINT during a normal run; --stats-json and
+     --trace output is flushed for the cycles already simulated (the
+     stats document carries run.cancelled=true), so a supervisor can
+     tell a graceful stop from a crash that drops all output
 )";
+
+// Graceful shutdown (SIGTERM/SIGINT): the handler only raises a flag;
+// the run loop polls it between slices, then the normal output path
+// flushes whatever was requested and main exits kExitCancelled. The
+// fleet daemon (smtfleetd) relies on this code to distinguish
+// "cancelled, partial output is coherent" from "crashed, discard".
+volatile std::sig_atomic_t g_cancel_signal = 0;
+
+void on_cancel_signal(int sig) { g_cancel_signal = sig; }
+
+/// Run in slices, polling the cancellation flag. Simulator::run is a
+/// plain step loop, so slicing is bit-identical to one run(cycles) call;
+/// a signal lands within kSlice cycles of delivery. Returns the cycles
+/// actually simulated.
+std::uint64_t run_cancellable(smt::sim::Simulator& sim, std::uint64_t cycles) {
+  constexpr std::uint64_t kSlice = 4096;
+  std::uint64_t done = 0;
+  while (done < cycles && g_cancel_signal == 0) {
+    const std::uint64_t n = std::min(kSlice, cycles - done);
+    sim.run(n);
+    done += n;
+  }
+  return done;
+}
 
 void list_everything() {
   std::cout << "mixes:\n";
@@ -418,19 +448,35 @@ int main(int argc, char** argv) {
       sink.set_run_info(info);
       sim.attach_trace(&sink);
     }
-    sim.run(warmup);
+    // From here the run is cancellable: SIGTERM/SIGINT stops the slice
+    // loop, the requested outputs are flushed below as usual, and main
+    // returns kExitCancelled instead of the check verdict.
+    std::signal(SIGTERM, on_cancel_signal);
+    std::signal(SIGINT, on_cancel_signal);
+
+    const std::uint64_t warmup_done = run_cancellable(sim, warmup);
     const std::uint64_t c0 = sim.committed();
-    sim.run(cycles);
+    const std::uint64_t measured =
+        warmup_done < warmup ? 0 : run_cancellable(sim, cycles);
     sim.flush_trace();
+    const bool cancelled = g_cancel_signal != 0;
+    const auto finish = [&check_exit, &cancelled](const sim::Simulator& s) {
+      return cancelled ? kExitCancelled : check_exit(s);
+    };
     const double ipc =
-        static_cast<double>(sim.committed() - c0) / static_cast<double>(cycles);
+        measured == 0 ? 0.0
+                      : static_cast<double>(sim.committed() - c0) /
+                            static_cast<double>(measured);
 
     if (args.has("stats-json")) {
       obs::MetricsRegistry reg;
       sim.export_metrics(reg);
-      reg.set("run.warmup_cycles", warmup);
-      reg.set("run.measured_cycles", cycles);
+      reg.set("run.warmup_cycles", warmup_done);
+      reg.set("run.measured_cycles", measured);
       reg.set("run.measured_ipc", ipc);
+      // Only a cancelled run carries the marker: a normal run's document
+      // stays byte-identical to what it was before cancellation existed.
+      if (cancelled) reg.set("run.cancelled", true);
       if (stats_to_stdout) {
         reg.write_json(std::cout);
       } else {
@@ -441,17 +487,17 @@ int main(int argc, char** argv) {
     if (args.has("trace")) {
       sink.write(trace_to_stdout ? std::cout : trace_out, trace_format,
                  sim::trace_decoder());
-      if (trace_to_stdout) return check_exit(sim);
+      if (trace_to_stdout) return finish(sim);
     }
 
     if (args.has("fault-report")) {
       sink.write(std::cout, obs::TraceFormat::kCsv, sim::trace_decoder());
-      return check_exit(sim);
+      return finish(sim);
     }
     if (stats_to_stdout) {
       // stdout carries the JSON document; the violation report (if any)
       // goes to stderr.
-      return check_exit(sim);
+      return finish(sim);
     }
 
     const auto& st = sim.pipeline().stats();
@@ -460,12 +506,12 @@ int main(int argc, char** argv) {
       std::cout << "mode,ipc,cycles,committed,switches,benign,mispredicts,"
                    "wrong_path_fetched,guard_reverts,guard_safe_mode\n"
                 << (cfg.use_adts ? "adts" : "fixed") << ',' << ipc << ','
-                << cycles << ',' << sim.committed() - c0 << ',' << dt.switches
+                << measured << ',' << sim.committed() - c0 << ',' << dt.switches
                 << ',' << dt.benign_switches << ',' << st.mispredicts << ','
                 << st.fetched_wrong_path << ','
                 << sim.detector().guard().stats().reverts << ','
                 << sim.detector().guard().stats().safe_mode_entries << '\n';
-      return check_exit(sim);
+      return finish(sim);
     }
 
     std::cout << (cfg.use_adts
@@ -474,8 +520,13 @@ int main(int argc, char** argv) {
                       : "fixed " + std::string(policy::name(cfg.fixed_policy)))
               << " on";
     for (const auto& a : cfg.apps) std::cout << ' ' << a;
-    std::cout << "\nmeasured IPC " << Table::num(ipc) << " over " << cycles
-              << " cycles (+" << warmup << " warm-up)\n";
+    std::cout << "\nmeasured IPC " << Table::num(ipc) << " over " << measured
+              << " cycles (+" << warmup_done << " warm-up)\n";
+    if (cancelled) {
+      std::cout << "cancelled by signal " << static_cast<int>(g_cancel_signal)
+                << " after " << measured << " of " << cycles
+                << " measured cycles\n";
+    }
     if (cfg.use_adts) {
       std::cout << dt.quanta << " quanta, " << dt.low_throughput_quanta
                 << " low-throughput, " << dt.switches << " switches ("
@@ -501,7 +552,7 @@ int main(int argc, char** argv) {
                 << gs.safe_mode_entries << " safe-mode entries ("
                 << gs.safe_mode_quanta << " quanta pinned)\n";
     }
-    return check_exit(sim);
+    return finish(sim);
   } catch (const UsageError& e) {
     std::cerr << "smtsim: " << e.what() << "\n\n" << kUsage;
     return kExitUsage;
