@@ -3,9 +3,12 @@
 // Three measurements, all on host wall-clock (std::chrono::steady_clock —
 // allowed in bench/, see scripts/check_lint.sh):
 //
-//   1. single-run: one serial simulation, reported as host kilo-cycles
-//      per second and sim-MIPS (simulated committed instructions per
-//      host second). This is the number the pipeline hot-path work moves.
+//   1. single-run: a serial simulation timed as the median of several
+//      samples after an untimed host warm-up slice (cold caches and
+//      branch predictors would otherwise land in sample 1), reported as
+//      host kilo-cycles per second and sim-MIPS (simulated committed
+//      instructions per host second). This is the number the pipeline
+//      hot-path work moves.
 //   2. sweep: the Fig. 7/8 (heuristic × threshold × mix) grid, serial vs
 //      SMT_JOBS workers, with the two grids compared cell-by-cell.
 //   3. oracle: run_oracle on one mix, jobs=1 vs jobs=N, results compared
@@ -19,6 +22,8 @@
 //                     scripts/run_perf_suite.sh -> BENCH_perf.json)
 //   SMT_BENCH_SCALE   quick | default | full (run length)
 //   SMT_JOBS          workers for the parallel passes (default: host cores)
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -26,6 +31,7 @@
 #include <string_view>
 #include <thread>
 
+#include "common/host_info.hpp"
 #include "common/table.hpp"
 #include "par/thread_pool.hpp"
 #include "sim/experiment.hpp"
@@ -90,21 +96,40 @@ int main(int argc, char** argv) {
   sim::ExperimentScale parallel = serial;
   parallel.jobs = jobs;
 
-  // --- 1. serial single-run throughput ------------------------------------
+  // --- 1. serial single-run throughput (median of N samples) --------------
   const std::uint64_t cycles = single_run_cycles();
   const char* mix_name = "ilp8";
   sim::SimConfig cfg =
       sim::make_config(workload::mix(mix_name), 8, serial.base_seed);
   sim::Simulator sim(cfg);
   sim.run(serial.plan.warmup_cycles);
-  const std::uint64_t c0 = sim.committed();
+  // Host-side warm-up: an untimed slice so the first sample doesn't pay
+  // the process's cold caches, page faults and branch-predictor training.
+  sim.run(cycles / 4);
 
-  const Clock::time_point t_single = Clock::now();
-  sim.run(cycles);
-  const double single_s = seconds_since(t_single);
-  const double kcps = static_cast<double>(cycles) / 1e3 / single_s;
-  const double sim_mips =
-      static_cast<double>(sim.committed() - c0) / 1e6 / single_s;
+  struct Sample {
+    double seconds = 0.0;
+    double kcps = 0.0;
+    double mips = 0.0;
+  };
+  constexpr std::size_t kSamples = 3;
+  std::array<Sample, kSamples> samples{};
+  for (Sample& s : samples) {
+    const std::uint64_t committed_before = sim.committed();
+    const Clock::time_point t0 = Clock::now();
+    sim.run(cycles);
+    s.seconds = seconds_since(t0);
+    s.kcps = static_cast<double>(cycles) / 1e3 / s.seconds;
+    s.mips = static_cast<double>(sim.committed() - committed_before) / 1e6 /
+             s.seconds;
+  }
+  // Median by throughput: one preempted sample no longer skews the run.
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.kcps < b.kcps; });
+  const Sample& median = samples[kSamples / 2];
+  const double single_s = median.seconds;
+  const double kcps = median.kcps;
+  const double sim_mips = median.mips;
 
   // --- 2. Fig. 7/8 sweep, serial vs parallel ------------------------------
   const Clock::time_point t_sweep1 = Clock::now();
@@ -138,15 +163,20 @@ int main(int argc, char** argv) {
   // thread-pool overhead. Flag them so perf dashboards and humans
   // don't read ~1.0x as a parallelism regression.
   const bool degenerate = host_cores <= 1;
+  const HostInfo& hi = host_info();
   if (json) {
     std::cout.precision(6);
     std::cout << "{\n\"suite\": \"perf\",\n"
               << "\"host_cores\": " << host_cores << ",\n"
+              << "\"host_cpu\": \"" << hi.cpu_model << "\",\n"
+              << "\"smt_jobs\": " << hi.smt_jobs << ",\n"
               << "\"jobs\": " << jobs << ",\n"
               << "\"degenerate_parallel\": " << (degenerate ? "true" : "false")
               << ",\n"
               << "\"single_run\": {\"mix\": \"" << mix_name
-              << "\", \"cycles\": " << cycles << ", \"seconds\": " << single_s
+              << "\", \"cycles\": " << cycles
+              << ", \"samples\": " << kSamples
+              << ", \"seconds\": " << single_s
               << ", \"host_kcycles_per_sec\": " << kcps
               << ", \"sim_mips\": " << sim_mips << "},\n"
               << "\"sweep\": {\"serial_seconds\": " << sweep_serial_s
@@ -168,8 +198,9 @@ int main(int argc, char** argv) {
                       : "")
               << "\n\n"
               << "single run (" << mix_name << ", " << cycles
-              << " cycles, serial): " << Table::num(kcps, 0)
-              << " kcycles/s, " << Table::num(sim_mips, 2) << " sim-MIPS\n"
+              << " cycles, serial, median of " << kSamples
+              << "): " << Table::num(kcps, 0) << " kcycles/s, "
+              << Table::num(sim_mips, 2) << " sim-MIPS\n"
               << "fig7/8 sweep: serial " << Table::num(sweep_serial_s, 2)
               << "s, " << jobs << " jobs " << Table::num(sweep_par_s, 2)
               << "s (speedup " << Table::num(sweep_serial_s / sweep_par_s, 2)

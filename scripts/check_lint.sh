@@ -11,7 +11,10 @@
 #      seeded from the run configuration. bench/ is held to the same rule
 #      with one narrow allowance: std::chrono::steady_clock, because
 #      wall-clock throughput is what a benchmark measures — timing may
-#      never feed back into simulated results.
+#      never feed back into simulated results. src/prof/host_clock.cpp is
+#      the single library-side exemption: it is the profiler's fenced
+#      clock (DESIGN.md §15), and everything else must time itself
+#      through prof::host_ticks so this allowlist stays one file long.
 #   2. No unordered containers: their iteration order is
 #      implementation-defined, which silently varies results across
 #      standard libraries. Use std::map/std::vector/FixedQueue.
@@ -45,8 +48,12 @@ mapfile -t headers < <(find src -name '*.hpp' | sort)
 mapfile -t bench_files < <(find bench -name '*.cpp' -o -name '*.hpp' | sort)
 
 # --- 1. ambient nondeterminism --------------------------------------------
+# src/prof/host_clock.cpp is the profiler's fenced clock — the one place
+# library code may read host time (ticks flow only into prof.* output).
+mapfile -t clock_fenced_files < <(printf '%s\n' "${lib_files[@]}" \
+  | grep -v '^src/prof/host_clock\.cpp$')
 bad=$(grep -nE '\b(srand|random_device|system_clock|steady_clock|high_resolution_clock)\b|[^_[:alnum:]]rand\(|std::time\(|\btime\(NULL\)|\btime\(0\)' \
-  "${lib_files[@]}" /dev/null | grep -vE '^\S+:[0-9]+:\s*(//|\*)' || true)
+  "${clock_fenced_files[@]}" /dev/null | grep -vE '^\S+:[0-9]+:\s*(//|\*)' || true)
 if [ -n "$bad" ]; then
   complain "ambient nondeterminism (use common/rng.hpp, cfg-seeded):" "$bad"
 fi

@@ -26,9 +26,9 @@ trap 'rm -rf "$tmp"' EXIT
 run=(--mix mem8 --adts --guard --fault-corrupt 0.3 --fault-dt-stall 0.2
      --fault-blackout 0.2 --cycles 32768 --warmup 8192 --quantum 1024 --csv)
 
-echo "== traced run (with pipeview sampling)"
+echo "== traced run (with pipeview sampling and host profiling)"
 "$smtsim" "${run[@]}" --trace "$tmp/trace.jsonl" --trace-format jsonl \
-  --pipeview 64@8192,48@16384 \
+  --pipeview 64@8192,48@16384 --prof \
   --stats-json "$tmp/stats.json" > "$tmp/traced.csv"
 echo "== untraced run"
 "$smtsim" "${run[@]}" > "$tmp/untraced.csv"
@@ -49,12 +49,12 @@ jsonl, stats_path, chrome = sys.argv[1:4]
 
 KINDS = {"quantum", "thread_quantum", "policy_switch", "guard_action",
          "fault", "dt_stall_begin", "dt_stall_end", "invariant",
-         "pipeview", "switch_audit"}
+         "pipeview", "switch_audit", "prof"}
 KEYS = {"event", "quantum", "cycle", "tid", "span", "policy_before",
         "policy_after", "code", "mask", "value", "ipc", "fetch_share",
         "mispredict_rate", "l1d_miss_rate", "l1i_miss_rate", "stalls"}
 BUILD_KEYS = {"event", "tool", "version", "git_sha", "compiler", "flags",
-              "seed", "config_digest"}
+              "seed", "config_digest", "host_cpu", "host_cores", "smt_jobs"}
 CAUSES = {"policy_throttle", "icache_miss", "rob_full",
           "dispatch_backpressure", "squash_recovery", "fetch_blackout",
           "fragmentation"}
@@ -72,7 +72,12 @@ with open(jsonl) as f:
             assert set(e) == BUILD_KEYS, f"build_info keys {set(e) ^ BUILD_KEYS}"
             digest = e["config_digest"]
             continue
-        want = KEYS | {"stages"} if e["event"] == "pipeview" else KEYS
+        if e["event"] == "pipeview":
+            want = KEYS | {"stages"}
+        elif e["event"] == "prof":
+            want = KEYS | {"label"}
+        else:
+            want = KEYS
         assert set(e) == want, f"line {i + 1}: keys {set(e) ^ want}"
         assert e["event"] in KINDS, f"line {i + 1}: kind {e['event']}"
         assert set(e["stalls"]) == CAUSES, f"line {i + 1}: stall causes"

@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# Host-profiling CI gate: the profiler's zero-perturbation and
+# accounting contracts, end to end.
+#
+# 1. Profiling-off byte-identity, all 13 paper mixes. For each mix the
+#    same run executes plain and with --prof/--prof-folded; the --csv
+#    result must be byte-identical, the JSONL trace identical once
+#    "event":"prof" lines are stripped, and --stats-json identical once
+#    the prof.* subtree is dropped. Host timing may never leak into
+#    simulated results.
+# 2. Folded-stack well-formedness: every line is `path ns` with a
+#    [A-Za-z0-9_;] path, and `smtprof folded` renders it (exit 0).
+# 3. Telescoping coverage: the sum of exclusive ns over the phase tree
+#    must account for >= 90% of prof.total_ns (wall time from profiler
+#    start to stats export) and never exceed it by more than rounding.
+# 4. CLI contract: --prof-stride rejects non-powers-of-two with exit 3;
+#    smtprof exits 2 on usage errors and 3 on malformed input.
+# 5. Fleet telemetry: a smtfleetd batch run with --status must journal
+#    the rusage quartet (host_ms/utime_ms/stime_ms/maxrss_kb) on settle
+#    records, write a schema-complete status snapshot (validated by
+#    `smtprof status`), and `smtprof fleet` must report worker time.
+# 6. Overhead: a profiled run may not be more than 25% slower than a
+#    plain run (generous bound so loaded CI hosts don't flake; the
+#    design budget is <5%, see DESIGN.md §15).
+#
+# Usage: scripts/check_prof.sh [smtsim] [smtfleetd] [smtprof]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+smtsim="${1:-${BUILD_DIR:-$repo/build}/src/smtsim}"
+smtfleetd="${2:-${BUILD_DIR:-$repo/build}/src/smtfleetd}"
+smtprof="${3:-${BUILD_DIR:-$repo/build}/src/smtprof}"
+for bin in "$smtsim" "$smtfleetd" "$smtprof"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_prof: $bin not built" >&2
+    exit 2
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# JSON-level assertions (stats equality, coverage arithmetic, status
+# schema) need python3; the byte-level ones run everywhere.
+have_py=0
+command -v python3 >/dev/null 2>&1 && have_py=1
+
+mixes="ctrl8 mem8 ilp8 cache8 bal1 bal2 bal3 bal4 int8 span8 fp8 var1 var2"
+
+echo "== profiling-off byte-identity across 13 mixes"
+for mix in $mixes; do
+  run=(--mix "$mix" --adts --cycles 32768 --warmup 8192 --quantum 1024 --csv)
+  "$smtsim" "${run[@]}" \
+    --trace "$tmp/plain.jsonl" --trace-format jsonl \
+    --stats-json "$tmp/plain.json" > "$tmp/plain.csv"
+  "$smtsim" "${run[@]}" \
+    --trace "$tmp/prof.jsonl" --trace-format jsonl \
+    --stats-json "$tmp/prof.json" \
+    --prof --prof-folded "$tmp/$mix.folded" > "$tmp/prof.csv"
+  cmp "$tmp/plain.csv" "$tmp/prof.csv" \
+    || { echo "check_prof: $mix --csv differs under --prof" >&2; exit 1; }
+  grep -v '"event":"prof"' "$tmp/prof.jsonl" | cmp - "$tmp/plain.jsonl" \
+    || { echo "check_prof: $mix trace differs beyond prof events" >&2; exit 1; }
+  grep -q '"event":"prof"' "$tmp/prof.jsonl" \
+    || { echo "check_prof: $mix profiled trace has no prof events" >&2; exit 1; }
+  if [ "$have_py" -eq 1 ]; then
+    python3 - "$tmp/plain.json" "$tmp/prof.json" <<'EOF'
+import json, sys
+plain = json.load(open(sys.argv[1]))
+prof = json.load(open(sys.argv[2]))
+assert "prof" not in plain, "plain run exported prof.* metrics"
+assert prof.pop("prof", None) is not None, "profiled run missing prof.*"
+assert plain == prof, "stats differ beyond the prof.* subtree"
+EOF
+  fi
+  echo "   $mix identical"
+done
+
+echo "== folded output well-formed and renderable"
+for mix in $mixes; do
+  [ -s "$tmp/$mix.folded" ] \
+    || { echo "check_prof: $mix folded output empty" >&2; exit 1; }
+  bad="$(grep -cvE '^[A-Za-z0-9_;]+ [0-9]+$' "$tmp/$mix.folded" || true)"
+  if [ "$bad" -ne 0 ]; then
+    echo "check_prof: $mix folded output has $bad malformed lines" >&2
+    cat "$tmp/$mix.folded" >&2
+    exit 1
+  fi
+done
+"$smtprof" folded "$tmp/mem8.folded" > "$tmp/folded.report"
+grep -q "total " "$tmp/folded.report" \
+  || { echo "check_prof: smtprof folded printed no total" >&2; exit 1; }
+echo "   13 folded files OK, smtprof renders mem8:"
+sed 's/^/   /' "$tmp/folded.report" | head -6
+
+if [ "$have_py" -eq 1 ]; then
+echo "== telescoping coverage: sum(excl) vs prof.total_ns"
+"$smtsim" --mix mem8 --cycles 262144 --warmup 32768 --prof \
+  --stats-json "$tmp/coverage.json" --csv > /dev/null
+python3 - "$tmp/coverage.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+
+def excl(node):
+    total = node.get("excl_ns", 0)
+    for v in node.values():
+        if isinstance(v, dict):
+            total += excl(v)
+    return total
+
+total_ns = stats["prof"]["total_ns"]
+sum_excl = excl(stats["prof"]["run"])
+ratio = sum_excl / total_ns
+assert 0.90 <= ratio <= 1.001, \
+    f"exclusive sum covers {ratio:.1%} of wall (want 90%..100%)"
+print(f"   phases account for {ratio:.1%} of {total_ns / 1e6:.1f} ms wall")
+EOF
+else
+  echo "== python3 unavailable: JSON-level assertions skipped"
+fi
+
+echo "== CLI contract: stride validation and smtprof exit codes"
+rc=0; "$smtsim" --mix bal1 --cycles 1024 --prof --prof-stride 3 --csv \
+  > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] \
+  || { echo "check_prof: --prof-stride 3 exited $rc, want 3" >&2; exit 1; }
+rc=0; "$smtprof" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] \
+  || { echo "check_prof: bare smtprof exited $rc, want 2" >&2; exit 1; }
+rc=0; "$smtprof" folded /nonexistent > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] \
+  || { echo "check_prof: unreadable folded input exited $rc, want 3" >&2; exit 1; }
+printf 'not a folded line\n' > "$tmp/garbage.folded"
+rc=0; "$smtprof" folded "$tmp/garbage.folded" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] \
+  || { echo "check_prof: malformed folded input exited $rc, want 3" >&2; exit 1; }
+
+echo "== fleet telemetry: rusage in the journal, --status snapshot"
+cat > "$tmp/grid.batch" <<'EOF'
+cycles 65536
+warmup 8192
+mix bal1 mem8 ilp8
+policy ICOUNT
+EOF
+"$smtfleetd" --batch "$tmp/grid.batch" --out "$tmp/fleet" \
+  --smtsim "$smtsim" --workers 2 --retries 3 --backoff-ms 20 --poll-ms 10 \
+  --status "$tmp/status.json" --status-interval-ms 50 \
+  > "$tmp/fleet.log" 2>&1 \
+  || { echo "check_prof: fleet batch failed" >&2; cat "$tmp/fleet.log" >&2; exit 1; }
+journal="$tmp/fleet/journal.jsonl"
+grep '"kind":"done"' "$journal" | head -1 | grep -q \
+  '"host_ms":[0-9]*,"utime_ms":[0-9]*,"stime_ms":[0-9]*,"maxrss_kb":[0-9]*' \
+  || { echo "check_prof: done records missing rusage telemetry" >&2
+       head -5 "$journal" >&2; exit 1; }
+[ -s "$tmp/status.json" ] \
+  || { echo "check_prof: no status snapshot written" >&2; exit 1; }
+"$smtprof" status "$tmp/status.json" > "$tmp/status.report" \
+  || { echo "check_prof: smtprof rejected the status snapshot" >&2
+       cat "$tmp/status.json" >&2; exit 1; }
+if [ "$have_py" -eq 1 ]; then
+  python3 - "$tmp/status.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+want = {"jobs", "queued", "running", "done", "cached", "failed", "settled",
+        "retries", "workers", "elapsed_ms", "jobs_per_min", "eta_ms",
+        "draining"}
+assert set(snap) == want, f"status keys {set(snap) ^ want}"
+assert snap["jobs"] == 3 and snap["settled"] == 3, "final snapshot counts"
+assert snap["queued"] == 0 and snap["running"] == 0, "final snapshot idle"
+EOF
+fi
+"$smtprof" fleet "$journal" > "$tmp/fleet.report"
+grep -q "worker time:" "$tmp/fleet.report" \
+  || { echo "check_prof: smtprof fleet reported no worker time" >&2
+       cat "$tmp/fleet.report" >&2; exit 1; }
+sed 's/^/   /' "$tmp/status.report"
+
+echo "== overhead: profiled run vs plain run (generous 25% bound)"
+overhead=(--mix ilp8 --cycles 1048576 --warmup 32768 --csv)
+best_plain=0; best_prof=0
+for _ in 1 2 3; do
+  t0=$(date +%s%N); "$smtsim" "${overhead[@]}" > /dev/null; t1=$(date +%s%N)
+  d=$((t1 - t0))
+  if [ "$best_plain" -eq 0 ] || [ "$d" -lt "$best_plain" ]; then
+    best_plain=$d
+  fi
+  t0=$(date +%s%N); "$smtsim" "${overhead[@]}" --prof > /dev/null
+  t1=$(date +%s%N)
+  d=$((t1 - t0))
+  if [ "$best_prof" -eq 0 ] || [ "$d" -lt "$best_prof" ]; then
+    best_prof=$d
+  fi
+done
+echo "   plain $((best_plain / 1000000)) ms, profiled $((best_prof / 1000000)) ms (best of 3)"
+if [ "$best_prof" -gt $((best_plain + best_plain / 4)) ]; then
+  echo "check_prof: profiling overhead exceeds 25%" >&2
+  exit 1
+fi
+
+echo "check_prof: OK"

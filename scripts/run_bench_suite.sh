@@ -81,10 +81,11 @@ wait
 
 if command -v python3 >/dev/null 2>&1; then
   # The per-run run.* provenance block identifies the *binary* (git sha,
-  # compiler, flags) — exactly what must NOT enter a document that is
-  # byte-compared across commits and toolchains (run_perf_suite.sh).
-  # Keep the run-identity keys (seed, config_digest, version), drop the
-  # build-identity ones, and re-serialize deterministically.
+  # compiler, flags) and the *host* (cpu model, core count, SMT_JOBS) —
+  # exactly what must NOT enter a document that is byte-compared across
+  # commits, toolchains and machines (run_perf_suite.sh). Keep the
+  # run-identity keys (seed, config_digest, version), drop the build- and
+  # host-identity ones, and re-serialize deterministically.
   python3 - "$out" <<'EOF'
 import json
 import sys
@@ -93,7 +94,8 @@ path = sys.argv[1]
 doc = json.load(open(path))
 for mix in doc["mixes"].values():
     for run in mix.values():
-        for volatile in ("git_sha", "compiler", "flags"):
+        for volatile in ("git_sha", "compiler", "flags",
+                         "host_cpu", "host_cores", "smt_jobs"):
             run.get("run", {}).pop(volatile, None)
 with open(path, "w") as f:
     json.dump(doc, f, indent=1, sort_keys=True)

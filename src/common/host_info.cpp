@@ -1,0 +1,64 @@
+#include "common/host_info.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+namespace smt {
+
+namespace {
+
+std::string read_cpu_model() {
+  // First "model name" line of /proc/cpuinfo (Linux). Absent (non-Linux,
+  // restricted /proc, some ARM kernels) degrades to "unknown" rather
+  // than failing: provenance is best-effort, never load-bearing.
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::size_t start = colon + 1;
+    while (start < line.size() && (line[start] == ' ' || line[start] == '\t')) {
+      ++start;
+    }
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (start < line.size()) return line.substr(start);
+    break;
+  }
+  return "unknown";
+}
+
+/// SMT_JOBS resolved with the same rules as par::default_jobs() (positive
+/// integer, clamped to par::kMaxJobs = 64, else 1). Re-implemented here
+/// because common sits below par in the library layering.
+std::size_t read_smt_jobs() {
+  const char* env = std::getenv("SMT_JOBS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return 1;
+  return std::min<std::size_t>(static_cast<std::size_t>(v), 64);
+}
+
+HostInfo gather() {
+  HostInfo info;
+  info.cpu_model = read_cpu_model();
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  info.cores = n > 0 ? static_cast<unsigned>(n) : 0;
+  info.smt_jobs = read_smt_jobs();
+  return info;
+}
+
+}  // namespace
+
+const HostInfo& host_info() {
+  static const HostInfo info = gather();
+  return info;
+}
+
+}  // namespace smt

@@ -77,6 +77,11 @@ void write_record(std::ostream& out, const JournalRecord& rec) {
                 static_cast<unsigned long long>(rec.digest));
   out << "{\"kind\":\"" << name(rec.kind) << "\",\"job\":" << rec.job
       << ",\"digest\":\"" << digest << "\",\"attempt\":" << rec.attempt;
+  if (rec.has_telemetry) {
+    out << ",\"host_ms\":" << rec.host_ms << ",\"utime_ms\":" << rec.utime_ms
+        << ",\"stime_ms\":" << rec.stime_ms
+        << ",\"maxrss_kb\":" << rec.maxrss_kb;
+  }
   if (!rec.detail.empty()) {
     out << ",\"detail\":\"";
     write_escaped(out, rec.detail);
@@ -103,6 +108,20 @@ std::optional<JournalRecord> parse_record(const std::string& line) {
   rec.job = *job;
   rec.digest = *digest;
   rec.attempt = static_cast<std::uint32_t>(*attempt);
+  // Telemetry is all-or-nothing on the write side; requiring the full
+  // quartet here means a line torn inside the telemetry block parses as
+  // "no telemetry" rather than half of it.
+  const std::optional<std::uint64_t> host_ms = field_u64(line, "host_ms");
+  const std::optional<std::uint64_t> utime_ms = field_u64(line, "utime_ms");
+  const std::optional<std::uint64_t> stime_ms = field_u64(line, "stime_ms");
+  const std::optional<std::uint64_t> maxrss_kb = field_u64(line, "maxrss_kb");
+  if (host_ms && utime_ms && stime_ms && maxrss_kb) {
+    rec.has_telemetry = true;
+    rec.host_ms = *host_ms;
+    rec.utime_ms = *utime_ms;
+    rec.stime_ms = *stime_ms;
+    rec.maxrss_kb = *maxrss_kb;
+  }
   if (const std::optional<std::string> detail = field(line, "detail")) {
     rec.detail = *detail;  // escapes left as-is; detail is display-only
   }

@@ -38,6 +38,15 @@ struct JournalRecord {
   std::uint64_t job = 0;     ///< job index in batch order (kBatch: job count)
   std::uint64_t digest = 0;  ///< job digest (kBatch: batch digest)
   std::uint32_t attempt = 0;
+  /// Worker telemetry (done/retry/fail records when the daemon has it):
+  /// wall time of the attempt plus the wait4 rusage numbers. Written
+  /// after `attempt` so the leading field order older readers grep for
+  /// is unchanged; absent fields parse as has_telemetry == false.
+  bool has_telemetry = false;
+  std::uint64_t host_ms = 0;    ///< attempt wall-clock, milliseconds
+  std::uint64_t utime_ms = 0;   ///< worker user CPU, milliseconds
+  std::uint64_t stime_ms = 0;   ///< worker system CPU, milliseconds
+  std::uint64_t maxrss_kb = 0;  ///< worker peak RSS, KiB
   std::string detail;        ///< human reason ("signal 9; retry in 250 ms")
 };
 

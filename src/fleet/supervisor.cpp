@@ -1,6 +1,7 @@
 #include "fleet/supervisor.hpp"
 
 #include <fcntl.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -45,13 +46,21 @@ std::vector<ReapedWorker> WorkerSupervisor::poll() {
   std::vector<ReapedWorker> reaped;
   for (;;) {
     int status = 0;
-    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    struct rusage ru {};
+    const pid_t pid = ::wait4(-1, &status, WNOHANG, &ru);
     if (pid <= 0) break;
     const auto it = std::find(live_.begin(), live_.end(), static_cast<int>(pid));
     if (it == live_.end()) continue;  // not one of ours
     live_.erase(it);
     ReapedWorker r;
     r.pid = static_cast<int>(pid);
+    const auto tv_ms = [](const timeval& tv) {
+      return static_cast<std::uint64_t>(tv.tv_sec) * 1000 +
+             static_cast<std::uint64_t>(tv.tv_usec) / 1000;
+    };
+    r.utime_ms = tv_ms(ru.ru_utime);
+    r.stime_ms = tv_ms(ru.ru_stime);
+    r.maxrss_kb = static_cast<std::uint64_t>(ru.ru_maxrss);  // Linux: KiB
     if (WIFSIGNALED(status)) {
       r.exit.signaled = true;
       r.exit.status = WTERMSIG(status);

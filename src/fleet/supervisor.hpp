@@ -9,6 +9,7 @@
 // reports an exit, which the scheduler is built to absorb.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,10 +17,15 @@
 
 namespace smt::fleet {
 
-/// One reaped child.
+/// One reaped child, with the kernel's resource accounting for it
+/// (wait4 rusage): CPU time split user/system and peak resident set.
+/// Telemetry only — nothing downstream branches on these.
 struct ReapedWorker {
   int pid = -1;
   WorkerExit exit;
+  std::uint64_t utime_ms = 0;  ///< user CPU time, milliseconds
+  std::uint64_t stime_ms = 0;  ///< system CPU time, milliseconds
+  std::uint64_t maxrss_kb = 0;  ///< peak resident set size, KiB
 };
 
 class WorkerSupervisor {

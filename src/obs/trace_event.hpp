@@ -24,6 +24,10 @@
 //                          span (retire delta), code (PipeTerminal),
 //                          mask (PipeFlag bits), stage_delta (per-stage
 //                          cycle offsets from fetch; 0 = never reached)
+//   kProf           -1     label (phase name), cycle (synthetic start ns
+//                          on the profiler's preorder timeline), span
+//                          (inclusive host-ns), value (exclusive host-ns),
+//                          quantum (call count), code (tree depth)
 //   kSwitchAudit    -1     cycle (apply cycle), span (apply − decided),
 //                          policy_before → policy_after, code (heuristic),
 //                          value (SwitchLabel), mask (AuditFlag bits),
@@ -56,6 +60,7 @@ enum class EventKind : std::uint8_t {
   kInvariant,      ///< invariant checker detected a violation (src/check)
   kPipeview,       ///< sampled instruction's full pipeline lifecycle
   kSwitchAudit,    ///< provenance + post-hoc label for an applied switch
+  kProf,           ///< host-time phase node (src/prof PhaseProfiler)
 };
 
 [[nodiscard]] constexpr std::string_view name(EventKind k) noexcept {
@@ -70,6 +75,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kInvariant: return "invariant";
     case EventKind::kPipeview: return "pipeview";
     case EventKind::kSwitchAudit: return "switch_audit";
+    case EventKind::kProf: return "prof";
   }
   return "unknown";
 }
@@ -171,6 +177,13 @@ struct TraceEvent {
   /// kPipeview only: per-stage cycle offsets from the fetch cycle,
   /// indexed by PipeStage; 0 = the stage was never reached.
   std::array<std::uint32_t, kNumPipeStages> stage_delta{};
+  /// kProf only: NUL-terminated leaf phase name ("fetch", "detector").
+  std::array<char, 16> label{};
+
+  [[nodiscard]] std::string_view label_view() const noexcept {
+    return {label.data(),
+            std::char_traits<char>::length(label.data())};
+  }
 };
 
 }  // namespace smt::obs

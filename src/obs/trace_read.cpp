@@ -156,12 +156,13 @@ std::string as_code_string(const JsonValue& v, std::size_t line_no) {
 
 // --- field-name tables -----------------------------------------------------
 
-constexpr std::array<EventKind, 10> kAllKinds{
+constexpr std::array<EventKind, 11> kAllKinds{
     EventKind::kQuantum,    EventKind::kThreadQuantum,
     EventKind::kPolicySwitch, EventKind::kGuardAction,
     EventKind::kFault,      EventKind::kDtStallBegin,
     EventKind::kDtStallEnd, EventKind::kInvariant,
-    EventKind::kPipeview,   EventKind::kSwitchAudit};
+    EventKind::kPipeview,   EventKind::kSwitchAudit,
+    EventKind::kProf};
 
 std::uint64_t parse_u64_field(const std::string& s, std::size_t line_no) {
   if (s.empty()) return 0;
@@ -313,6 +314,7 @@ ReadTrace read_trace(std::istream& is) {
         e.stalls[c] = parse_u64_field(field(col), line_no);
       }
       parse_stage_list(field("stages"), e, line_no);
+      e.label = field("label");
       out.events.push_back(std::move(e));
       continue;
     }
@@ -379,6 +381,7 @@ ReadTrace read_trace(std::istream& is) {
             static_cast<std::uint64_t>(as_double(stages[i], line_no));
       }
     }
+    e.label = code_str("label");
     out.events.push_back(std::move(e));
   }
   return out;

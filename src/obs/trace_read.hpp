@@ -54,6 +54,8 @@ struct ReadEvent {
   std::array<std::uint64_t, kNumStallCauses> stalls{};
   /// kPipeview only: stage deltas by PipeStage index (0 = unreached).
   std::array<std::uint64_t, kNumPipeStages> stages{};
+  /// kProf only: leaf phase name ("fetch", "detector", ...).
+  std::string label;
 };
 
 struct ReadTrace {

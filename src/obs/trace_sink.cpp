@@ -113,7 +113,11 @@ void put_build_info(std::ostream& os, const RunInfo& info) {
   os << ",\"seed\":\"" << buf << "\"";
   std::snprintf(buf, sizeof buf, "0x%016llx",
                 static_cast<unsigned long long>(info.config_digest));
-  os << ",\"config_digest\":\"" << buf << "\"}";
+  os << ",\"config_digest\":\"" << buf << "\"";
+  os << ",\"host_cpu\":";
+  put_json_string(os, info.host_cpu);
+  os << ",\"host_cores\":\"" << info.host_cores << "\"";
+  os << ",\"smt_jobs\":\"" << info.smt_jobs << "\"}";
 }
 
 }  // namespace
@@ -195,7 +199,7 @@ void TraceSink::write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
   for (std::size_t c = 0; c < kNumStallCauses; ++c) {
     os << ",stall_" << name(static_cast<StallCause>(c));
   }
-  os << ",stages\n";
+  os << ",stages,label\n";
   for (const TraceEvent& e : evs) {
     os << name(e.kind) << ',' << e.quantum << ',' << e.cycle << ',' << e.tid
        << ',' << e.span << ',';
@@ -224,6 +228,8 @@ void TraceSink::write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
         os << e.stage_delta[i];
       }
     }
+    os << ',';
+    if (e.kind == EventKind::kProf) os << e.label_view();
     os << '\n';
   }
 }
@@ -270,6 +276,10 @@ void TraceSink::write_jsonl(std::ostream& os,
         os << e.stage_delta[i];
       }
       os << ']';
+    }
+    if (e.kind == EventKind::kProf) {
+      os << ",\"label\":";
+      put_json_string(os, e.label_view());
     }
     os << "}\n";
   }
@@ -415,6 +425,21 @@ void TraceSink::write_chrome(std::ostream& os,
         os << ",\"ipc_after\":";
         put_double(os, e.ipc);
         os << "}}";
+        break;
+      }
+      case EventKind::kProf: {
+        // Phase nodes live on their own synthetic-time process track
+        // (pid 2): ts/dur are profiler nanoseconds laid out preorder so
+        // the tree renders as a flame chart, not simulation cycles.
+        next();
+        os << "{\"name\":\"" << json_escape(e.label_view())
+           << "\",\"cat\":\"prof\",\"ph\":\"X\",\"ts\":";
+        put_double(os, static_cast<double>(e.cycle) / 1e3);
+        os << ",\"dur\":";
+        put_double(os, static_cast<double>(e.span) / 1e3);
+        os << ",\"pid\":2,\"tid\":0,\"args\":{\"count\":" << e.quantum
+           << ",\"excl_ns\":" << e.value
+           << ",\"depth\":" << static_cast<unsigned>(e.code) << "}}";
         break;
       }
     }

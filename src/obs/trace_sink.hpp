@@ -69,6 +69,12 @@ struct RunInfo {
   std::string flags;     ///< build type + compile flags
   std::uint64_t seed = 0;           ///< workload seed of this run
   std::uint64_t config_digest = 0;  ///< FNV-1a over the resolved SimConfig
+  // Host provenance (common/host_info.hpp): BENCH documents and traces
+  // from different machines are only comparable when stamped with what
+  // they ran on.
+  std::string host_cpu;        ///< /proc/cpuinfo model name, or "unknown"
+  unsigned host_cores = 0;     ///< online host cores
+  std::size_t smt_jobs = 0;    ///< resolved SMT_JOBS (par::default_jobs)
 };
 
 class TraceSink {

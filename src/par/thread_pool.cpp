@@ -15,11 +15,15 @@ std::size_t default_jobs() {
 }
 
 ThreadPool::ThreadPool(std::size_t jobs) {
-  if (jobs < 2) return;  // inline mode: submit() executes on the caller
+  if (jobs < 2) {  // inline mode: submit() executes on the caller
+    stats_.resize(1);
+    return;
+  }
   const std::size_t n = std::min(jobs, kMaxJobs);
+  stats_.resize(n);
   threads_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -34,7 +38,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   if (threads_.empty()) {
-    task();
+    run_task(task, 0);
     return;
   }
   {
@@ -51,7 +55,27 @@ void ThreadPool::wait() {
   cv_done_.wait(lk, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_task(const std::function<void()>& task,
+                          std::size_t slot) {
+  WorkerStats& st = stats_[slot];
+  if (clock_ != nullptr) {
+    const std::uint64_t t0 = clock_();
+    task();
+    st.busy_ticks += clock_() - t0;
+  } else {
+    task();
+  }
+  ++st.tasks;
+}
+
+std::vector<WorkerStats> ThreadPool::worker_stats() const {
+  // Workers update their slot before re-taking mu_ to decrement
+  // in_flight_, so this lock (after wait()) sees every completed task.
+  const std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void ThreadPool::worker_loop(std::size_t slot) {
   for (;;) {
     std::function<void()> task;
     {
@@ -61,7 +85,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    run_task(task, slot);
     {
       const std::lock_guard<std::mutex> lk(mu_);
       if (--in_flight_ == 0) cv_done_.notify_all();

@@ -38,6 +38,18 @@ inline constexpr std::size_t kMaxJobs = 64;
 /// strictly opt-in; results are identical either way.
 [[nodiscard]] std::size_t default_jobs();
 
+/// Host-time telemetry for one worker slot (slot 0 is the calling thread
+/// in inline mode). `busy_ticks` is in whatever unit the injected clock
+/// returns; it stays 0 when no clock is set.
+struct WorkerStats {
+  std::uint64_t tasks = 0;       ///< tasks executed by this slot
+  std::uint64_t busy_ticks = 0;  ///< host ticks spent inside tasks
+};
+
+/// Monotonic host-clock callback (par sits below prof, so the profiler's
+/// fenced clock is injected rather than linked).
+using ClockFn = std::uint64_t (*)();
+
 /// Fixed-size task pool. Constructed with a job count: `jobs >= 2` spawns
 /// that many workers (clamped to kMaxJobs); `jobs <= 1` spawns none and
 /// submit() runs tasks inline on the calling thread, making the serial
@@ -66,12 +78,25 @@ class ThreadPool {
   /// Block until every task submitted so far has finished.
   void wait();
 
+  /// Install (or, with nullptr, remove) the clock used to time task
+  /// bodies. Observation-only — results are identical either way. Call
+  /// only while the pool is idle: workers read the pointer unlocked and
+  /// rely on submit()'s mutex for the happens-before.
+  void set_clock(ClockFn clock) noexcept { clock_ = clock; }
+
+  /// Per-slot task/busy-tick counters (one slot per worker; a single
+  /// slot 0 in inline mode). Call after wait() for a consistent view.
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t slot);
+  void run_task(const std::function<void()>& task, std::size_t slot);
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  std::vector<WorkerStats> stats_;
+  ClockFn clock_ = nullptr;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;  ///< signals workers: work or stop
   std::condition_variable cv_done_;  ///< signals wait(): drained
   std::size_t in_flight_ = 0;        ///< queued + running tasks

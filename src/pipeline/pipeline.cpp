@@ -98,15 +98,52 @@ void Pipeline::run(std::uint64_t n) {
 }
 
 void Pipeline::step() {
-  do_commit();
-  do_complete();
-  do_issue();
-  do_dispatch();
-  do_fetch();
+  if (prof_.prof != nullptr && (cycle_ & prof_.mask) == 0) {
+    step_stages_profiled();
+  } else {
+    do_commit();
+    do_complete();
+    do_issue();
+    do_dispatch();
+    do_fetch();
+  }
 
   for (Thread& t : threads_) ++t.counters.cycles_seen;
   ++stats_.cycles;
   ++cycle_;
+}
+
+void Pipeline::step_stages_profiled() {
+  using Scope = prof::PhaseProfiler::Scope;
+  {
+    const Scope s(prof_.prof, prof_.nodes.commit);
+    do_commit();
+  }
+  {
+    const Scope s(prof_.prof, prof_.nodes.complete);
+    do_complete();
+  }
+  {
+    const Scope s(prof_.prof, prof_.nodes.issue);
+    do_issue();
+  }
+  {
+    const Scope s(prof_.prof, prof_.nodes.dispatch);
+    do_dispatch();
+  }
+  {
+    const Scope s(prof_.prof, prof_.nodes.fetch);
+    do_fetch();
+  }
+}
+
+void Pipeline::set_profiler(prof::PhaseProfiler* p, const ProfNodes& nodes,
+                            std::uint64_t stride_mask) {
+  prof_ = ProfState{};
+  if (p == nullptr) return;
+  prof_.prof = p;
+  prof_.mask = stride_mask;
+  prof_.nodes = nodes;
 }
 
 // ---------------------------------------------------------------------------

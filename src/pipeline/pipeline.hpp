@@ -36,6 +36,7 @@
 #include "pipeline/config.hpp"
 #include "pipeline/counters.hpp"
 #include "policy/fetch_policy.hpp"
+#include "prof/phase_profiler.hpp"
 #include "workload/thread_program.hpp"
 
 namespace smt::obs {
@@ -206,6 +207,30 @@ class Pipeline {
   /// Records still in flight (opened but not yet committed/squashed).
   [[nodiscard]] std::uint64_t pipeview_in_flight() const noexcept {
     return pview_.live;
+  }
+
+  // --- host-phase profiling (src/prof) ------------------------------------
+  /// Per-stage node handles a profiling caller resolves once (children of
+  /// its "cycle" phase) and hands to set_profiler.
+  struct ProfNodes {
+    prof::PhaseProfiler::Node commit = 0;
+    prof::PhaseProfiler::Node complete = 0;
+    prof::PhaseProfiler::Node issue = 0;
+    prof::PhaseProfiler::Node dispatch = 0;
+    prof::PhaseProfiler::Node fetch = 0;
+  };
+
+  /// Attach per-stage host timers: on cycles where
+  /// `(now() & stride_mask) == 0` each of the five stage calls in step()
+  /// runs under an RAII phase scope. Copying a pipeline drops the
+  /// profiler (oracle snapshots must not time themselves), and host
+  /// ticks never feed back into simulated state, so a profiled run stays
+  /// bit-identical to an unprofiled one — same contract as pipeview.
+  /// Pass a null profiler to detach.
+  void set_profiler(prof::PhaseProfiler* p, const ProfNodes& nodes,
+                    std::uint64_t stride_mask);
+  [[nodiscard]] bool profiler_active() const noexcept {
+    return prof_.prof != nullptr;
   }
 
   // --- structural audit (src/check) --------------------------------------
@@ -431,6 +456,30 @@ class Pipeline {
     ~PipeviewState() = default;
   };
   PipeviewState pview_;
+
+  /// All profiler attach state, isolated like PipeviewState so copies
+  /// drop it wholesale while the pipeline keeps defaulted copy ops.
+  struct ProfState {
+    prof::PhaseProfiler* prof = nullptr;
+    std::uint64_t mask = 0;  ///< stride - 1 (stride is a power of two)
+    ProfNodes nodes;
+
+    ProfState() = default;
+    ProfState(const ProfState&) {}  // copies drop the profiler
+    ProfState& operator=(const ProfState&) {
+      *this = ProfState{};
+      return *this;
+    }
+    ProfState(ProfState&&) = default;
+    ProfState& operator=(ProfState&&) = default;
+    ~ProfState() = default;
+  };
+  ProfState prof_;
+
+  /// step() body with each stage under a phase scope; split out so the
+  /// common unprofiled path stays branch-free beyond one predictable
+  /// test per cycle.
+  void step_stages_profiled();
 
   /// Open a lifecycle record for `d` if the active window wants one
   /// (called at fetch; cheap `sink != nullptr` guard at the call site).

@@ -1,0 +1,62 @@
+#include "prof/host_clock.hpp"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define SMT_PROF_HAVE_RDTSC 1
+#endif
+
+namespace smt::prof {
+
+namespace {
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#ifdef SMT_PROF_HAVE_RDTSC
+/// Measure TSC ticks across a ~2 ms steady_clock window. Modern x86-64
+/// TSCs are invariant (constant rate, survive frequency scaling), so a
+/// single short calibration holds for the process lifetime; 2 ms keeps
+/// the quantization error of the two clock reads well under 0.1%.
+double calibrate_ticks_per_ns() noexcept {
+  const std::uint64_t t0 = __rdtsc();
+  const std::uint64_t ns0 = steady_ns();
+  std::uint64_t ns1 = ns0;
+  while (ns1 - ns0 < 2'000'000) ns1 = steady_ns();
+  const std::uint64_t t1 = __rdtsc();
+  const double rate =
+      static_cast<double>(t1 - t0) / static_cast<double>(ns1 - ns0);
+  return rate > 0.0 ? rate : 1.0;
+}
+#endif
+
+}  // namespace
+
+std::uint64_t host_ticks() noexcept {
+#ifdef SMT_PROF_HAVE_RDTSC
+  return __rdtsc();
+#else
+  return steady_ns();
+#endif
+}
+
+double ticks_per_ns() noexcept {
+#ifdef SMT_PROF_HAVE_RDTSC
+  static const double rate = calibrate_ticks_per_ns();
+  return rate;
+#else
+  return 1.0;
+#endif
+}
+
+std::uint64_t ticks_to_ns(std::uint64_t ticks) noexcept {
+  return static_cast<std::uint64_t>(static_cast<double>(ticks) /
+                                    ticks_per_ns());
+}
+
+}  // namespace smt::prof

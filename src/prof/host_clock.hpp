@@ -1,0 +1,32 @@
+// The one host-time source in the library: a raw monotonic tick counter
+// plus a once-calibrated tick→nanosecond conversion.
+//
+// Everything under src/ outside tools/ is fenced from ambient clocks by
+// scripts/check_lint.sh so simulated behaviour can never depend on host
+// time. Profiling needs host time by definition, so this file is the
+// single allowlisted exception: it reads the TSC (or steady_clock on
+// non-x86 hosts) and nothing else in the library touches a clock
+// directly. Host ticks flow only into prof.* observability output —
+// never into simulation state — which keeps the determinism contract
+// intact (see DESIGN.md §15).
+#pragma once
+
+#include <cstdint>
+
+namespace smt::prof {
+
+/// Raw monotonic host ticks. On x86-64 this is one `rdtsc` (~10 cycles,
+/// no serialization — phase timers want low overhead more than exact
+/// instruction attribution); elsewhere it falls back to steady_clock
+/// nanoseconds. Only differences between two readings are meaningful.
+std::uint64_t host_ticks() noexcept;
+
+/// Ticks per nanosecond, calibrated once per process against a ~2 ms
+/// steady_clock interval on first use (thread-safe; subsequent calls are
+/// a load). Always > 0; exactly 1.0 on the steady_clock fallback.
+double ticks_per_ns() noexcept;
+
+/// Convert a tick delta to nanoseconds using the calibrated rate.
+std::uint64_t ticks_to_ns(std::uint64_t ticks) noexcept;
+
+}  // namespace smt::prof

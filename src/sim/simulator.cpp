@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/build_info.hpp"
+#include "common/host_info.hpp"
 #include "core/heuristics.hpp"
 #include "workload/app_profile.hpp"
 #include "workload/thread_program.hpp"
@@ -191,7 +192,33 @@ Simulator& Simulator::operator=(const Simulator& other) {
   baselines_.clear();
   checker_ = check::InvariantChecker{};
   check_on_ = false;
+  prof_ = nullptr;  // like sink_: copies never profile (oracle re-runs)
+  prof_mask_ = 0;
   return *this;
+}
+
+void Simulator::attach_profiler(prof::PhaseProfiler* p,
+                                prof::PhaseProfiler::Node parent,
+                                std::uint64_t stride) {
+  prof_ = p;
+  if (p == nullptr) {
+    prof_mask_ = 0;
+    pipe_.set_profiler(nullptr, {}, 0);
+    return;
+  }
+  prof_mask_ = stride == 0 ? 0 : stride - 1;
+  prof_nodes_.cycle = p->child(parent, "cycle");
+  prof_nodes_.pipeline = p->child(prof_nodes_.cycle, "pipeline");
+  prof_nodes_.detector = p->child(prof_nodes_.cycle, "detector");
+  prof_nodes_.checker = p->child(prof_nodes_.cycle, "checker");
+  prof_nodes_.trace = p->child(prof_nodes_.cycle, "trace");
+  pipeline::Pipeline::ProfNodes stages;
+  stages.commit = p->child(prof_nodes_.pipeline, "commit");
+  stages.complete = p->child(prof_nodes_.pipeline, "complete");
+  stages.issue = p->child(prof_nodes_.pipeline, "issue");
+  stages.dispatch = p->child(prof_nodes_.pipeline, "dispatch");
+  stages.fetch = p->child(prof_nodes_.pipeline, "fetch");
+  pipe_.set_profiler(p, stages, prof_mask_);
 }
 
 void Simulator::attach_trace(obs::TraceSink* sink) {
@@ -240,7 +267,26 @@ void Simulator::set_adts_active(bool active) {
 }
 
 void Simulator::step() {
-  pipe_.step();
+  // The stride test reads pipe_.now() *before* the pipeline increments
+  // it, matching the pipeline's own entry test, so both layers sample
+  // the same cycles.
+  if (prof_ != nullptr && (pipe_.now() & prof_mask_) == 0) {
+    const prof::PhaseProfiler::Scope s(prof_, prof_nodes_.cycle);
+    step_impl(true);
+  } else {
+    step_impl(false);
+  }
+}
+
+void Simulator::step_impl(bool profiled) {
+  using Scope = prof::PhaseProfiler::Scope;
+  // Scopes built with a null profiler are inert, so the unprofiled path
+  // pays only the construction of four no-op guards.
+  prof::PhaseProfiler* pp = profiled ? prof_ : nullptr;
+  {
+    const Scope s(pp, prof_nodes_.pipeline);
+    pipe_.step();
+  }
 
   // Snapshot the quantum that just ended *before* the detector tick: the
   // detector resets the quantum accumulators at the boundary, and the
@@ -248,7 +294,10 @@ void Simulator::step() {
   // quantum. Reading first keeps the snapshot about the finished quantum.
   const bool boundary =
       sink_ != nullptr && pipe_.now() % cfg_.adts.quantum_cycles == 0;
-  if (boundary) record_quantum_snapshot();
+  if (boundary) {
+    const Scope s(pp, prof_nodes_.trace);
+    record_quantum_snapshot();
+  }
   const policy::FetchPolicy policy_before = pipe_.policy();
   const std::size_t audits_before = detector_.audit_log().size();
 
@@ -256,18 +305,26 @@ void Simulator::step() {
   // (fresh counter perturbations, stall windows, blackouts) are already
   // in place when the detector samples its counters.
   const bool faulted = injector_.enabled();
-  if (faulted) injector_.tick(pipe_);
-  if (use_adts_) detector_.tick(pipe_, faulted ? &injector_ : nullptr);
+  {
+    const Scope s(pp, prof_nodes_.detector);
+    if (faulted) injector_.tick(pipe_);
+    if (use_adts_) detector_.tick(pipe_, faulted ? &injector_ : nullptr);
+  }
 
   // The checker observes the fully mutated cycle (pipeline step, fault
   // injection, detector tick). It is a pure reader: a checked run is
   // bit-identical to an unchecked one.
   std::size_t fresh_violations = 0;
   if (check_on_) {
+    const Scope s(pp, prof_nodes_.checker);
     fresh_violations = checker_.on_cycle(pipe_, detector_, use_adts_);
   }
 
   if (sink_ == nullptr) return;
+  // One scope over everything the sink records this cycle ("trace" also
+  // times the boundary snapshot above, so its count tallies timed
+  // segments, not cycles).
+  const Scope trace_scope(pp, prof_nodes_.trace);
   const std::uint64_t cycle = pipe_.now();
   const std::uint64_t quantum = cycle / cfg_.adts.quantum_cycles;
 
@@ -476,6 +533,10 @@ void Simulator::export_metrics(obs::MetricsRegistry& reg) const {
   std::snprintf(digest, sizeof digest, "0x%016llx",
                 static_cast<unsigned long long>(config_digest(cfg_)));
   reg.set("run.config_digest", std::string_view(digest));
+  const HostInfo& hi = host_info();
+  reg.set("run.host_cpu", std::string_view(hi.cpu_model));
+  reg.set("run.host_cores", static_cast<std::uint64_t>(hi.cores));
+  reg.set("run.smt_jobs", static_cast<std::uint64_t>(hi.smt_jobs));
 
   reg.set("config.mode", use_adts_ ? "adts" : "fixed");
   reg.set("config.policy", policy::name(cfg_.fixed_policy));

@@ -129,6 +129,20 @@ class Simulator {
   /// plus the run configuration, into `reg` (--stats-json).
   void export_metrics(obs::MetricsRegistry& reg) const;
 
+  /// Attach the host-phase profiler: resolves the standard per-cycle node
+  /// tree under `parent` — cycle/{pipeline/{commit,complete,issue,
+  /// dispatch,fetch}, detector, checker, trace} — and times those
+  /// segments on every cycle where `now() & (stride-1) == 0` (`stride`
+  /// must be a power of two; 1 = every cycle). Observation-only and
+  /// dropped on copy, exactly like the trace sink: a profiled run's
+  /// simulated results are bit-identical to an unprofiled one. Pass a
+  /// null profiler to detach.
+  void attach_profiler(prof::PhaseProfiler* p,
+                       prof::PhaseProfiler::Node parent, std::uint64_t stride);
+  [[nodiscard]] bool profiler_attached() const noexcept {
+    return prof_ != nullptr;
+  }
+
   /// Suspend / resume the detector thread. Resuming re-baselines the
   /// detector (DetectorThread::arm) and resets quantum counters so the
   /// first observed quantum is clean. The sampling driver uses this to
@@ -164,6 +178,10 @@ class Simulator {
 
   void record_quantum_snapshot();
 
+  /// One simulated cycle; `profiled` gates the per-segment phase scopes
+  /// (true only on stride-sampled cycles of a profiler-attached run).
+  void step_impl(bool profiled);
+
   SimConfig cfg_;
   pipeline::Pipeline pipe_;
   core::DetectorThread detector_;
@@ -173,6 +191,18 @@ class Simulator {
   // --- invariant checking (inert while check_on_ == false) --------------
   check::InvariantChecker checker_;
   bool check_on_ = false;  ///< dropped on copy, like sink_
+
+  // --- host-phase profiling (inert while prof_ == nullptr) --------------
+  struct ProfNodes {
+    prof::PhaseProfiler::Node cycle = 0;     ///< whole per-cycle body
+    prof::PhaseProfiler::Node pipeline = 0;  ///< pipe_.step()
+    prof::PhaseProfiler::Node detector = 0;  ///< injector + detector ticks
+    prof::PhaseProfiler::Node checker = 0;   ///< invariant-checker pass
+    prof::PhaseProfiler::Node trace = 0;     ///< snapshot + event emission
+  };
+  prof::PhaseProfiler* prof_ = nullptr;  ///< not owned; dropped on copy
+  std::uint64_t prof_mask_ = 0;          ///< stride − 1
+  ProfNodes prof_nodes_;
 
   // --- trace instrumentation (inert while sink_ == nullptr) -------------
   obs::TraceSink* sink_ = nullptr;  ///< not owned; dropped on copy

@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -75,6 +76,13 @@ chaos (deliberate worker faults, for testing the fleet itself):
                         start — pick W below the typical job runtime so
                         victims die mid-run (default 500)
   --chaos-seed N        chaos schedule seed (default 0xF1EE7)
+
+telemetry:
+  --status PATH         maintain a JSON progress snapshot at PATH, updated
+                        atomically (write tmp + rename) every interval:
+                        queued/running/settled/retry counts, throughput and
+                        ETA. Safe to read concurrently (smtprof status PATH)
+  --status-interval-ms I  snapshot refresh interval (default 1000)
 
 inspection:
   --list-jobs           print "digest<TAB>smtsim args" per job and exit
@@ -143,7 +151,8 @@ int main(int argc, char** argv) {
                        {"batch", "out", "smtsim", "workers", "retries",
                         "timeout-ms", "backoff-ms", "backoff-cap-ms",
                         "poll-ms", "chaos-kill", "chaos-stall",
-                        "chaos-window-ms", "chaos-seed", "list-jobs", "help"},
+                        "chaos-window-ms", "chaos-seed", "status",
+                        "status-interval-ms", "list-jobs", "help"},
                        /*flag_keys=*/{"list-jobs", "help"});
     if (args.has("help")) {
       std::cout << kUsage;
@@ -299,8 +308,64 @@ int main(int argc, char** argv) {
     std::map<int, std::size_t> pid_to_job;
     std::map<int, std::string> pid_to_tmp;
     std::map<int, ChaosAction> pid_to_chaos;
+    std::map<int, std::uint64_t> pid_to_start_ms;  // attempt wall-clock t0
     std::set<std::size_t> timing_out;  // killed for timeout, await reap
     bool announced_drain = false;
+
+    // --- --status: atomic-rename JSON progress snapshots ------------------
+    const std::string status_path = args.get_or("status", "");
+    const std::uint64_t status_interval =
+        args.get_u64("status-interval-ms", 1000);
+    if (args.has("status") && status_path.empty()) {
+      throw ConfigError("--status needs a file path");
+    }
+    if (status_interval == 0) {
+      throw ConfigError("--status-interval-ms must be >= 1");
+    }
+    const std::uint64_t started_ms = now_ms();
+    std::uint64_t last_status_ms = 0;
+    std::uint64_t retries_total = 0;
+    const auto write_status = [&](std::uint64_t now) {
+      if (status_path.empty()) return;
+      std::size_t done = 0, cached = 0, failed = 0;
+      for (std::size_t i = 0; i < sched.size(); ++i) {
+        switch (sched.job(i).state) {
+          case fleet::JobState::kDone: ++done; break;
+          case fleet::JobState::kCached: ++cached; break;
+          case fleet::JobState::kFailed: ++failed; break;
+          default: break;
+        }
+      }
+      const std::size_t settled = done + cached + failed;
+      const std::size_t running = pid_to_job.size();
+      const std::size_t queued = sched.size() - settled - running;
+      const std::uint64_t elapsed = now - started_ms;
+      // Throughput counts worker-settled jobs only (cache hits are
+      // instantaneous and would make the ETA wildly optimistic).
+      const double mins = static_cast<double>(elapsed) / 60000.0;
+      const std::size_t worked = done + failed;
+      const double per_min =
+          mins > 0.0 ? static_cast<double>(worked) / mins : 0.0;
+      const std::uint64_t eta_ms =
+          worked > 0 && queued + running > 0
+              ? elapsed / worked * (queued + running)
+              : 0;
+      const std::string tmp = status_path + ".tmp";
+      std::ofstream os(tmp, std::ios::trunc);
+      if (!os) return;  // snapshot is best-effort; never kill the batch
+      os << "{\"jobs\":" << sched.size() << ",\"queued\":" << queued
+         << ",\"running\":" << running << ",\"done\":" << done
+         << ",\"cached\":" << cached << ",\"failed\":" << failed
+         << ",\"settled\":" << settled << ",\"retries\":" << retries_total
+         << ",\"workers\":" << fcfg.max_workers
+         << ",\"elapsed_ms\":" << elapsed << ",\"jobs_per_min\":" << per_min
+         << ",\"eta_ms\":" << eta_ms
+         << ",\"draining\":" << (sched.draining() ? "true" : "false")
+         << "}\n";
+      os.close();
+      if (os) std::rename(tmp.c_str(), status_path.c_str());
+      last_status_ms = now;
+    };
 
     const auto progress = [&sched, &digests](std::size_t job,
                                              const char* what,
@@ -330,12 +395,21 @@ int main(int argc, char** argv) {
             const std::size_t job = pid_to_job[r.pid];
             cache.discard(pid_to_tmp[r.pid]);
             (void)sched.on_exit(job, r.exit, now);
-            log_record(record_of(fleet::JournalKind::kRetry, job,
-                                 sched.job(job).attempts, "force quit"));
+            fleet::JournalRecord rec = record_of(
+                fleet::JournalKind::kRetry, job, sched.job(job).attempts,
+                "force quit");
+            rec.has_telemetry = true;
+            rec.host_ms = now - pid_to_start_ms[r.pid];
+            rec.utime_ms = r.utime_ms;
+            rec.stime_ms = r.stime_ms;
+            rec.maxrss_kb = r.maxrss_kb;
+            ++retries_total;
+            log_record(rec);
           }
           sleep_ms(1);
         }
         journal.flush();
+        write_status(now_ms());
         return kExitCancelled;
       }
 
@@ -343,9 +417,22 @@ int main(int argc, char** argv) {
       for (const fleet::ReapedWorker& r : supervisor.poll()) {
         const std::size_t job = pid_to_job[r.pid];
         const std::string tmp = pid_to_tmp[r.pid];
+        const std::uint64_t attempt_ms = now - pid_to_start_ms[r.pid];
         pid_to_job.erase(r.pid);
         pid_to_tmp.erase(r.pid);
         pid_to_chaos.erase(r.pid);
+        pid_to_start_ms.erase(r.pid);
+        // Worker telemetry for the settling journal record: attempt wall
+        // time plus the wait4 rusage numbers.
+        const auto with_telemetry = [&r, attempt_ms](
+                                        fleet::JournalRecord rec) {
+          rec.has_telemetry = true;
+          rec.host_ms = attempt_ms;
+          rec.utime_ms = r.utime_ms;
+          rec.stime_ms = r.stime_ms;
+          rec.maxrss_kb = r.maxrss_kb;
+          return rec;
+        };
 
         const bool was_timeout = timing_out.erase(job) > 0;
         fleet::Outcome outcome;
@@ -386,8 +473,8 @@ int main(int argc, char** argv) {
           }
           progress(job, "done", "(attempt " +
                    std::to_string(sched.job(job).attempts) + ")");
-          log_record(record_of(fleet::JournalKind::kDone, job,
-                               sched.job(job).attempts));
+          log_record(with_telemetry(record_of(fleet::JournalKind::kDone, job,
+                                              sched.job(job).attempts)));
         } else {
           cache.discard(tmp);
           if (outcome == fleet::Outcome::kRequeued) {
@@ -395,15 +482,17 @@ int main(int argc, char** argv) {
             progress(job, "requeued",
                      "(" + how + "; retry in " + std::to_string(delay) +
                      " ms)");
-            log_record(record_of(fleet::JournalKind::kRetry, job,
-                                 sched.job(job).attempts,
-                                 how + "; retry in " + std::to_string(delay) +
-                                 " ms"));
+            ++retries_total;
+            log_record(with_telemetry(
+                record_of(fleet::JournalKind::kRetry, job,
+                          sched.job(job).attempts,
+                          how + "; retry in " + std::to_string(delay) +
+                          " ms")));
           } else {
             progress(job, "FAILED", "(" + sched.job(job).failure + ")");
-            log_record(record_of(fleet::JournalKind::kFail, job,
-                                 sched.job(job).attempts,
-                                 sched.job(job).failure));
+            log_record(with_telemetry(
+                record_of(fleet::JournalKind::kFail, job,
+                          sched.job(job).attempts, sched.job(job).failure)));
           }
         }
       }
@@ -459,6 +548,7 @@ int main(int argc, char** argv) {
         sched.on_started(job, now);
         pid_to_job[pid] = job;
         pid_to_tmp[pid] = tmp;
+        pid_to_start_ms[pid] = now;
 
         ChaosAction action;
         if (chaos_kill > 0.0 || chaos_stall > 0.0) {
@@ -479,6 +569,11 @@ int main(int argc, char** argv) {
                  std::to_string(pid) + ")");
       }
 
+      // -- status snapshot --------------------------------------------------
+      if (!status_path.empty() && now - last_status_ms >= status_interval) {
+        write_status(now);
+      }
+
       // -- termination ------------------------------------------------------
       if (sched.all_settled()) break;
       if (sched.draining() && supervisor.live() == 0) break;
@@ -492,6 +587,7 @@ int main(int argc, char** argv) {
     }
 
     journal.flush();
+    write_status(now_ms());
     const int code = sched.batch_exit_code();
     std::size_t done = 0, cached = 0, failed = 0;
     for (std::size_t i = 0; i < sched.size(); ++i) {

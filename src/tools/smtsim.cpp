@@ -22,11 +22,13 @@
 #include "common/build_info.hpp"
 #include "common/cli.hpp"
 #include "common/exit_codes.hpp"
+#include "common/host_info.hpp"
 #include "common/table.hpp"
 #include "core/heuristics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 #include "par/thread_pool.hpp"
+#include "prof/phase_profiler.hpp"
 #include "sim/oracle.hpp"
 #include "sim/simulator.hpp"
 #include "workload/app_profile.hpp"
@@ -90,6 +92,19 @@ observability (normal runs; ignored under --oracle):
                         --fault-report. Analyze with smttrace pipeview.
   --stats-json PATH     write end-of-run metrics from every subsystem as
                         nested JSON to PATH ('-' = stdout)
+
+host profiling (host-time observability; simulated results unchanged):
+  --prof                collect hierarchical host-phase timings — run
+                        phases (init/warmup/measured) plus stride-sampled
+                        per-cycle stages (pipeline commit/complete/issue/
+                        dispatch/fetch, detector, checker, trace); exported
+                        as prof.* in --stats-json and as prof events in
+                        --trace. Under --oracle, also reports the candidate-
+                        trial pool's per-worker busy time.
+  --prof-folded PATH    write folded stacks ("run;measured;cycle 1234") to
+                        PATH for speedscope / flamegraph.pl (implies --prof)
+  --prof-stride N       time 1 of every N cycles, power of two (default 64;
+                        1 = every cycle)
 
 run control:
   --cycles N            cycles to simulate (default 262144)
@@ -239,10 +254,10 @@ int main(int argc, char** argv) {
          "fault-dt-stall", "fault-stall-quanta", "fault-drop", "fault-delay",
          "fault-delay-quanta", "fault-blackout", "fault-blackout-cycles",
          "fault-report", "trace", "trace-format", "pipeview", "stats-json",
-         "check", "version"},
+         "prof", "prof-folded", "prof-stride", "check", "version"},
         /*flag_keys=*/{"adts", "instant", "guard", "oracle", "all-policies",
                        "csv", "list", "help", "fault-report", "check",
-                       "version"});
+                       "prof", "version"});
     if (args.has("help")) {
       std::cout << kUsage;
       return 0;
@@ -333,16 +348,49 @@ int main(int argc, char** argv) {
       throw ConfigError("--jobs must be >= 1 worker threads");
     }
 
+    // Host-phase profiling (--prof). Observation-only: simulated results
+    // and every non-prof output byte are identical with it on or off.
+    const bool prof_on = args.has("prof") || args.has("prof-folded");
+    const std::uint64_t prof_stride = args.get_u64("prof-stride", 64);
+    if (prof_stride == 0 || (prof_stride & (prof_stride - 1)) != 0) {
+      throw ConfigError("--prof-stride must be a power of two >= 1, got " +
+                        std::to_string(prof_stride));
+    }
+    std::ofstream prof_out;
+    if (args.has("prof-folded")) {
+      const std::string path = args.get_or("prof-folded", "");
+      prof_out.open(path);
+      if (!prof_out) {
+        throw ConfigError("--prof-folded: cannot open '" + path +
+                          "' for writing");
+      }
+    }
+    prof::PhaseProfiler profiler;
+    prof::PhaseProfiler* pp = prof_on ? &profiler : nullptr;
+    const std::uint64_t prof_t0 = prof_on ? prof::host_ticks() : 0;
+
     if (args.has("oracle")) {
       sim::OracleConfig ocfg;
       ocfg.quantum_cycles = quantum;
       if (args.has("all-policies")) ocfg.candidates = policy::all_policies();
       const std::uint64_t quanta = args.get_u64("quanta", 16);
 
+      const auto n_warm = profiler.child(prof::PhaseProfiler::kRoot, "warmup");
+      const auto n_orc = profiler.child(prof::PhaseProfiler::kRoot, "oracle");
+
       sim::Simulator base(cfg);
-      base.run(warmup);
-      const sim::OracleResult r = sim::run_oracle(
-          base, quanta, ocfg, static_cast<std::size_t>(jobs));
+      {
+        const prof::PhaseProfiler::Scope s(pp, n_warm);
+        base.run(warmup);
+      }
+      sim::OracleTelemetry tel;
+      sim::OracleResult r;
+      {
+        const prof::PhaseProfiler::Scope s(pp, n_orc);
+        r = sim::run_oracle(base, quanta, ocfg, static_cast<std::size_t>(jobs),
+                            prof_on ? &prof::host_ticks : nullptr,
+                            prof_on ? &tel : nullptr);
+      }
       if (csv) {
         std::cout << "mode,ipc,cycles,committed,switches\noracle,"
                   << r.ipc() << ',' << r.cycles << ',' << r.committed << ','
@@ -355,7 +403,23 @@ int main(int argc, char** argv) {
                     << r.quanta_per_policy[static_cast<std::size_t>(p)]
                     << " quanta\n";
         }
+        if (prof_on) {
+          std::cout << "host profile: warmup "
+                    << prof::ticks_to_ns(profiler.inclusive_ticks(n_warm)) /
+                           1000000
+                    << " ms, oracle "
+                    << prof::ticks_to_ns(profiler.inclusive_ticks(n_orc)) /
+                           1000000
+                    << " ms across " << tel.workers << " pool workers\n";
+          for (std::size_t w = 0; w < tel.slots.size(); ++w) {
+            std::cout << "  worker " << w << ": " << tel.slots[w].tasks
+                      << " trials, "
+                      << prof::ticks_to_ns(tel.slots[w].busy_ticks) / 1000000
+                      << " ms busy\n";
+          }
+        }
       }
+      if (prof_out.is_open()) profiler.write_folded(prof_out);
       // Only the warm-up of `base` ran checked: the oracle re-runs policy
       // trials on copies, and copies drop checking by design.
       return check_exit(base);
@@ -433,10 +497,16 @@ int main(int argc, char** argv) {
       }
     }
 
+    const auto n_init = profiler.child(prof::PhaseProfiler::kRoot, "init");
+    const auto n_warm = profiler.child(prof::PhaseProfiler::kRoot, "warmup");
+    const auto n_meas = profiler.child(prof::PhaseProfiler::kRoot, "measured");
+
+    const std::uint64_t t_init = prof_on ? prof::host_ticks() : 0;
     sim::Simulator sim(cfg);
     obs::TraceSink sink;
     if (args.has("trace") || args.has("fault-report")) {
       const BuildInfo& bi = build_info();
+      const HostInfo& hi = host_info();
       obs::RunInfo info;
       info.tool = "smtsim";
       info.version = std::string(bi.version);
@@ -445,19 +515,34 @@ int main(int argc, char** argv) {
       info.flags = std::string(bi.flags);
       info.seed = cfg.workload_seed;
       info.config_digest = sim::config_digest(cfg);
+      info.host_cpu = hi.cpu_model;
+      info.host_cores = hi.cores;
+      info.smt_jobs = hi.smt_jobs;
       sink.set_run_info(info);
       sim.attach_trace(&sink);
     }
+    if (prof_on) profiler.add(n_init, prof::host_ticks() - t_init);
     // From here the run is cancellable: SIGTERM/SIGINT stops the slice
     // loop, the requested outputs are flushed below as usual, and main
     // returns kExitCancelled instead of the check verdict.
     std::signal(SIGTERM, on_cancel_signal);
     std::signal(SIGINT, on_cancel_signal);
 
-    const std::uint64_t warmup_done = run_cancellable(sim, warmup);
+    std::uint64_t warmup_done = 0;
+    {
+      const prof::PhaseProfiler::Scope s(pp, n_warm);
+      warmup_done = run_cancellable(sim, warmup);
+    }
     const std::uint64_t c0 = sim.committed();
-    const std::uint64_t measured =
-        warmup_done < warmup ? 0 : run_cancellable(sim, cycles);
+    std::uint64_t measured = 0;
+    if (warmup_done >= warmup) {
+      // Per-cycle stage timing only covers the measured region: warm-up
+      // is excluded from simulated stats, so it is excluded here too.
+      const prof::PhaseProfiler::Scope s(pp, n_meas);
+      if (prof_on) sim.attach_profiler(&profiler, n_meas, prof_stride);
+      measured = run_cancellable(sim, cycles);
+      if (prof_on) sim.attach_profiler(nullptr, 0, 1);
+    }
     sim.flush_trace();
     const bool cancelled = g_cancel_signal != 0;
     const auto finish = [&check_exit, &cancelled](const sim::Simulator& s) {
@@ -477,12 +562,24 @@ int main(int argc, char** argv) {
       // Only a cancelled run carries the marker: a normal run's document
       // stays byte-identical to what it was before cancellation existed.
       if (cancelled) reg.set("run.cancelled", true);
+      if (prof_on) {
+        // Wall time from profiler start to here: the reference the phase
+        // tree's telescoping exclusive sum is checked against.
+        reg.set("prof.total_ns",
+                prof::ticks_to_ns(prof::host_ticks() - prof_t0));
+        profiler.export_metrics(reg);
+      }
       if (stats_to_stdout) {
         reg.write_json(std::cout);
       } else {
         reg.write_json(stats_out);
       }
     }
+
+    if (prof_on && (args.has("trace") || args.has("fault-report"))) {
+      for (const obs::TraceEvent& e : profiler.trace_events()) sink.record(e);
+    }
+    if (prof_out.is_open()) profiler.write_folded(prof_out);
 
     if (args.has("trace")) {
       sink.write(trace_to_stdout ? std::cout : trace_out, trace_format,
@@ -551,6 +648,16 @@ int main(int argc, char** argv) {
                 << " reverts, " << gs.vetoed_switches << " vetoes, "
                 << gs.safe_mode_entries << " safe-mode entries ("
                 << gs.safe_mode_quanta << " quanta pinned)\n";
+    }
+    if (prof_on) {
+      const auto ms = [](std::uint64_t ticks) {
+        return prof::ticks_to_ns(ticks) / 1000000;
+      };
+      std::cout << "host profile: init " << ms(profiler.inclusive_ticks(n_init))
+                << " ms, warmup " << ms(profiler.inclusive_ticks(n_warm))
+                << " ms, measured " << ms(profiler.inclusive_ticks(n_meas))
+                << " ms (cycle stages sampled 1/" << prof_stride
+                << "; full tree via --stats-json / --prof-folded)\n";
     }
     return finish(sim);
   } catch (const UsageError& e) {

@@ -223,14 +223,26 @@ TEST(FleetScheduler, NextWakeTracksRetriesAndDeadlines) {
 // ---------------------------------------------------------------------------
 // Journal: round-trip, torn tail, foreign lines.
 
+JournalRecord make_rec(JournalKind kind, std::uint64_t job,
+                       std::uint64_t digest, std::uint32_t attempt,
+                       std::string detail) {
+  JournalRecord rec;
+  rec.kind = kind;
+  rec.job = job;
+  rec.digest = digest;
+  rec.attempt = attempt;
+  rec.detail = std::move(detail);
+  return rec;
+}
+
 TEST(Journal, RoundTripsEveryKind) {
   const std::vector<JournalRecord> records = {
-      {JournalKind::kBatch, 4, 0x1122334455667788ull, 0, ""},
-      {JournalKind::kCached, 0, 0xaabbccddeeff0011ull, 0, "cache"},
-      {JournalKind::kStart, 1, 0x2ull, 1, ""},
-      {JournalKind::kRetry, 1, 0x2ull, 1, "signal 9; retry in 250 ms"},
-      {JournalKind::kDone, 1, 0x2ull, 2, ""},
-      {JournalKind::kFail, 2, 0x3ull, 3, "timeout (retries exhausted)"},
+      make_rec(JournalKind::kBatch, 4, 0x1122334455667788ull, 0, ""),
+      make_rec(JournalKind::kCached, 0, 0xaabbccddeeff0011ull, 0, "cache"),
+      make_rec(JournalKind::kStart, 1, 0x2ull, 1, ""),
+      make_rec(JournalKind::kRetry, 1, 0x2ull, 1, "signal 9; retry in 250 ms"),
+      make_rec(JournalKind::kDone, 1, 0x2ull, 2, ""),
+      make_rec(JournalKind::kFail, 2, 0x3ull, 3, "timeout (retries exhausted)"),
   };
   std::stringstream buf;
   for (const JournalRecord& rec : records) write_record(buf, rec);
@@ -246,12 +258,46 @@ TEST(Journal, RoundTripsEveryKind) {
   }
 }
 
+TEST(Journal, TelemetryRoundTripsAndStaysOptional) {
+  JournalRecord rec = make_rec(JournalKind::kDone, 5, 0xabcull, 2, "");
+  rec.has_telemetry = true;
+  rec.host_ms = 1234;
+  rec.utime_ms = 1000;
+  rec.stime_ms = 34;
+  rec.maxrss_kb = 20480;
+  std::stringstream buf;
+  write_record(buf, rec);
+  const std::string line = buf.str();
+  // The leading field order is load-bearing: recovery tooling greps for
+  // kind/job/digest/attempt as a prefix, so telemetry must append.
+  EXPECT_EQ(line.rfind("{\"kind\":\"done\",\"job\":5,\"digest\":\"0x", 0), 0u);
+  EXPECT_NE(line.find("\"host_ms\":1234"), std::string::npos);
+
+  const std::optional<JournalRecord> parsed =
+      parse_record(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->has_telemetry);
+  EXPECT_EQ(parsed->host_ms, 1234u);
+  EXPECT_EQ(parsed->utime_ms, 1000u);
+  EXPECT_EQ(parsed->stime_ms, 34u);
+  EXPECT_EQ(parsed->maxrss_kb, 20480u);
+
+  // A record written without telemetry parses as has_telemetry == false.
+  std::stringstream plain;
+  write_record(plain, make_rec(JournalKind::kDone, 5, 0xabcull, 2, ""));
+  const std::optional<JournalRecord> no_tel =
+      parse_record(plain.str().substr(0, plain.str().size() - 1));
+  ASSERT_TRUE(no_tel.has_value());
+  EXPECT_FALSE(no_tel->has_telemetry);
+}
+
 TEST(Journal, TornTailLinesAreSkippedNotFatal) {
   // A daemon SIGKILLed mid-write leaves a prefix of a valid line; every
   // truncation of a valid record must parse as "no record".
   std::stringstream full;
   write_record(full,
-               {JournalKind::kDone, 7, 0x31b7bcc7881f67d2ull, 2, "ok"});
+               make_rec(JournalKind::kDone, 7, 0x31b7bcc7881f67d2ull, 2,
+                        "ok"));
   std::string line = full.str();
   ASSERT_EQ(line.back(), '\n');
   line.pop_back();
@@ -268,7 +314,7 @@ TEST(Journal, ForeignAndBlankLinesAreIgnored) {
       << "# not json\n"
       << "{\"kind\":\"no-such-kind\",\"job\":0,\"digest\":\"0x0\",\"attempt\":0}\n"
       << "{\"job\":1,\"digest\":\"0x1\",\"attempt\":1}\n";  // kind missing
-  write_record(buf, {JournalKind::kStart, 3, 0x9ull, 1, ""});
+  write_record(buf, make_rec(JournalKind::kStart, 3, 0x9ull, 1, ""));
   const std::vector<JournalRecord> parsed = read_journal(buf);
   ASSERT_EQ(parsed.size(), 1u);
   EXPECT_EQ(parsed[0].kind, JournalKind::kStart);
@@ -277,7 +323,9 @@ TEST(Journal, ForeignAndBlankLinesAreIgnored) {
 
 TEST(Journal, DetailEscapesQuotesAndNewlines) {
   std::stringstream buf;
-  write_record(buf, {JournalKind::kFail, 0, 0x1ull, 1, "said \"no\"\ntwice"});
+  write_record(buf,
+               make_rec(JournalKind::kFail, 0, 0x1ull, 1,
+                        "said \"no\"\ntwice"));
   const std::string line = buf.str();
   EXPECT_EQ(line.find('\n'), line.size() - 1)
       << "detail newline must be escaped; journal is one record per line";
