@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sampling.hpp"
+#include "sim/simulator.hpp"
 
 int main() {
   using namespace smt;

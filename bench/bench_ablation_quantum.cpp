@@ -8,7 +8,10 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/detector.hpp"
+#include "core/heuristics.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sampling.hpp"
 
 int main() {
   using namespace smt;

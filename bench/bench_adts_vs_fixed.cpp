@@ -8,7 +8,12 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/detector.hpp"
+#include "core/heuristics.hpp"
+#include "policy/fetch_policy.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sampling.hpp"
+#include "workload/mix.hpp"
 
 int main() {
   using namespace smt;

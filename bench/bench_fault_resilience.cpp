@@ -15,7 +15,12 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/detector.hpp"
+#include "core/heuristics.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sampling.hpp"
+#include "workload/mix.hpp"
 
 namespace {
 

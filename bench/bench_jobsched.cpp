@@ -16,6 +16,8 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "core/detector.hpp"
+#include "pipeline/config.hpp"
 #include "sched/job_scheduler.hpp"
 #include "sim/experiment.hpp"
 #include "workload/app_profile.hpp"

@@ -11,7 +11,11 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/detector.hpp"
+#include "core/heuristics.hpp"
+#include "policy/fetch_policy.hpp"
 #include "sim/experiment.hpp"
+#include "workload/mix.hpp"
 
 namespace {
 

@@ -15,6 +15,9 @@
 #include "common/table.hpp"
 #include "par/thread_pool.hpp"
 #include "sim/experiment.hpp"
+#include "sim/oracle.hpp"
+#include "sim/simulator.hpp"
+#include "workload/mix.hpp"
 
 namespace {
 

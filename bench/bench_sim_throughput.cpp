@@ -35,6 +35,8 @@
 #include "common/table.hpp"
 #include "par/thread_pool.hpp"
 #include "sim/experiment.hpp"
+#include "sim/oracle.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 

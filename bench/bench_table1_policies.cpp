@@ -12,6 +12,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "par/thread_pool.hpp"
+#include "policy/fetch_policy.hpp"
 #include "sim/experiment.hpp"
 
 int main() {

@@ -9,7 +9,10 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/heuristics.hpp"
+#include "policy/fetch_policy.hpp"
 #include "sim/experiment.hpp"
+#include "workload/mix.hpp"
 
 int main() {
   using namespace smt;

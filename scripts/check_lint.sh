@@ -1,37 +1,47 @@
 #!/usr/bin/env bash
-# Determinism & hygiene lint (pure grep — runs everywhere, no toolchain).
+# Determinism & hygiene lint gate.
 #
-# The simulator's central contract is bit-reproducible runs: copying a
-# Simulator must replay identically, and a traced/checked run must be
-# byte-identical to a plain one. These rules fence off the library code
-# (src/, minus src/tools/) from everything that breaks that contract:
+# The analyzer behind this gate is smtlint (src/lint/, DESIGN.md §16): a
+# lexer-based checker that blanks comments, string literals and
+# preprocessor text before any rule pattern runs, so banned tokens
+# quoted in documentation never fire and real violations always do. It
+# covers the five original grep rules of this script (ambient
+# nondeterminism, unordered containers, library iostreams, #pragma
+# once, thread primitives outside src/par/) plus include hygiene,
+# exit-code literals, hot-path allocation bans and the trace/metrics
+# schema cross-check — see `smtlint --list-rules` for the catalog.
 #
-#   1. No ambient nondeterminism: rand()/srand()/random_device, wall or
-#      steady clocks, time(). All randomness flows through common/rng.hpp,
-#      seeded from the run configuration. bench/ is held to the same rule
-#      with one narrow allowance: std::chrono::steady_clock, because
-#      wall-clock throughput is what a benchmark measures — timing may
-#      never feed back into simulated results. src/prof/host_clock.cpp is
-#      the single library-side exemption: it is the profiler's fenced
-#      clock (DESIGN.md §15), and everything else must time itself
-#      through prof::host_ticks so this allowlist stays one file long.
-#   2. No unordered containers: their iteration order is
-#      implementation-defined, which silently varies results across
-#      standard libraries. Use std::map/std::vector/FixedQueue.
-#   3. No <iostream> or std::cout/std::cerr in library code: per-cycle
-#      paths must not touch streams; all human output lives in the CLI
-#      driver (src/tools/) and in explicit writers taking an ostream&.
-#   4. Every header carries #pragma once.
-#   5. No thread primitives (std::thread, mutexes, condition variables,
-#      atomics) outside src/par/ and bench/: src/par/thread_pool is the
-#      single place library code may touch concurrency, so the
-#      determinism argument stays one file long.
+# Given a built smtlint (first argument, $SMTLINT, or build/src/smtlint)
+# this script runs the full catalog. Without one it falls back to the
+# historical grep subset so the gate still catches gross violations on a
+# machine that has not built the tree — the fallback is strictly weaker:
+# grep cannot lex, so it both misses rules and can false-positive on
+# banned tokens inside trailing comments or string literals.
 #
-# Usage: scripts/check_lint.sh        (exit 0 clean, 1 violations)
+# Usage: scripts/check_lint.sh [path/to/smtlint]
+# Exit 0 clean, 1 violations (either engine).
 set -uo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
+
+smtlint="${1:-${SMTLINT:-build/src/smtlint}}"
+if [ -x "$smtlint" ]; then
+  if "$smtlint" --root "$repo"; then
+    exit 0
+  else
+    rc=$?
+    if [ "$rc" -eq 4 ]; then
+      echo "check_lint: FAILED (smtlint findings above)" >&2
+      exit 1
+    fi
+    echo "check_lint: smtlint itself failed (exit $rc)" >&2
+    exit "$rc"
+  fi
+fi
+
+echo "check_lint: no smtlint binary at $smtlint — grep fallback" \
+  "(weaker: cannot lex comments/strings)" >&2
 
 fail=0
 complain() {
@@ -41,7 +51,7 @@ complain() {
   fail=1
 }
 
-# Library sources: everything under src/ except the CLI driver.
+# Library sources: everything under src/ except the CLI drivers.
 mapfile -t lib_files < <(find src -name '*.cpp' -o -name '*.hpp' \
   | grep -v '^src/tools/' | sort)
 mapfile -t headers < <(find src -name '*.hpp' | sort)
@@ -101,4 +111,5 @@ if [ "$fail" -ne 0 ]; then
   echo "check_lint: FAILED" >&2
   exit 1
 fi
-echo "check_lint: OK (${#lib_files[@]} library files, ${#headers[@]} headers, ${#bench_files[@]} bench files)"
+echo "check_lint: OK (grep fallback: ${#lib_files[@]} library files," \
+  "${#headers[@]} headers, ${#bench_files[@]} bench files)"

@@ -3,7 +3,12 @@
 #include <cstdlib>
 #include <ostream>
 
+#include "core/detector.hpp"
+#include "core/guard.hpp"
+#include "pipeline/config.hpp"
 #include "pipeline/counters.hpp"
+#include "pipeline/pipeline.hpp"
+#include "policy/fetch_policy.hpp"
 
 namespace smt::check {
 

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "core/guard.hpp"
 #include "pipeline/pipeline.hpp"
 #include "policy/fetch_policy.hpp"
 

@@ -1,4 +1,10 @@
 #include "core/detector.hpp"
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/switch_audit.hpp"
+#include "pipeline/counters.hpp"
+#include "pipeline/pipeline.hpp"
+#include "policy/fetch_policy.hpp"
 
 #include <algorithm>
 #include <stdexcept>

@@ -30,8 +30,11 @@
 #include "core/heuristics.hpp"
 #include "core/history.hpp"
 #include "fault/injector.hpp"
+#include "obs/metrics.hpp"
 #include "obs/switch_audit.hpp"
+#include "pipeline/counters.hpp"
 #include "pipeline/pipeline.hpp"
+#include "policy/fetch_policy.hpp"
 
 namespace smt::core {
 

@@ -1,6 +1,7 @@
 #include "core/guard.hpp"
 
 #include "core/heuristics.hpp"
+#include "obs/metrics.hpp"
 
 namespace smt::core {
 

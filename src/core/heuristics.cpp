@@ -1,4 +1,6 @@
 #include "core/heuristics.hpp"
+#include "pipeline/counters.hpp"
+#include "policy/fetch_policy.hpp"
 
 namespace smt::core {
 

@@ -1,4 +1,5 @@
 #include "core/history.hpp"
+#include "policy/fetch_policy.hpp"
 
 namespace smt::core {
 

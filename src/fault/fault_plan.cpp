@@ -1,4 +1,5 @@
 #include "fault/fault_plan.hpp"
+#include "pipeline/counters.hpp"
 
 #include <algorithm>
 #include <cmath>

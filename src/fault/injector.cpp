@@ -1,4 +1,7 @@
 #include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "pipeline/counters.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace smt::fault {
 

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "fault/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "pipeline/counters.hpp"
 #include "pipeline/pipeline.hpp"
 
 namespace smt::fault {

@@ -6,6 +6,9 @@
 
 #include "common/build_info.hpp"
 #include "common/cli.hpp"
+#include "core/heuristics.hpp"
+#include "policy/fetch_policy.hpp"
+#include "sim/simulator.hpp"
 #include "workload/mix.hpp"
 
 namespace smt::fleet {

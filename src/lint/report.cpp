@@ -1,0 +1,108 @@
+#include "lint/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace smt::lint {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  os << '"' << json_escape(s) << '"';
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const LintResult& result) {
+  for (const Finding& f : result.findings) {
+    os << f.path << ':' << f.line << ':' << f.col << ": error: "
+       << f.message << " [" << f.rule_id << "]\n";
+  }
+  const std::string tallies =
+      std::to_string(result.files_scanned) + " files, " +
+      std::to_string(result.rules_run) + " rules, " +
+      std::to_string(result.suppressed) + " suppressed, " +
+      std::to_string(result.baselined) + " baselined";
+  if (result.findings.empty()) {
+    os << "smtlint: OK (" << tallies << ")\n";
+  } else {
+    os << "smtlint: " << result.findings.size() << " finding"
+       << (result.findings.size() == 1 ? "" : "s") << " (" << tallies
+       << ")\n";
+  }
+}
+
+void write_sarif(std::ostream& os, const LintResult& result,
+                 const RuleRegistry& registry) {
+  os << "{\n";
+  os << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  os << "  \"version\": \"2.1.0\",\n";
+  os << "  \"runs\": [\n    {\n";
+  os << "      \"tool\": {\n        \"driver\": {\n";
+  os << "          \"name\": \"smtlint\",\n";
+  os << "          \"version\": \"" << kSmtlintVersion << "\",\n";
+  os << "          \"informationUri\": \"DESIGN.md\",\n";
+  os << "          \"rules\": [\n";
+  // The registry is sorted by id, so ruleIndex is reproducible.
+  const auto& rules = registry.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\n              \"id\": ";
+    put_string(os, std::string(rules[i]->id()));
+    os << ",\n              \"shortDescription\": { \"text\": ";
+    put_string(os, std::string(rules[i]->description()));
+    os << " }\n            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n        }\n      },\n";
+  os << "      \"columnKind\": \"utf16CodeUnits\",\n";
+  os << "      \"results\": [\n";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    std::size_t rule_index = 0;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      if (rules[r]->id() == f.rule_id) rule_index = r;
+    }
+    os << "        {\n          \"ruleId\": ";
+    put_string(os, f.rule_id);
+    os << ",\n          \"ruleIndex\": " << rule_index;
+    os << ",\n          \"level\": \"error\"";
+    os << ",\n          \"message\": { \"text\": ";
+    put_string(os, f.message);
+    os << " },\n          \"locations\": [\n            {\n";
+    os << "              \"physicalLocation\": {\n";
+    os << "                \"artifactLocation\": { \"uri\": ";
+    put_string(os, f.path);
+    os << " },\n                \"region\": { \"startLine\": " << f.line
+       << ", \"startColumn\": " << f.col << " }\n";
+    os << "              }\n            }\n          ]\n        }"
+       << (i + 1 < result.findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n    }\n  ]\n}\n";
+}
+
+}  // namespace smt::lint

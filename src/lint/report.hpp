@@ -1,0 +1,31 @@
+// Rendering of lint results: human text and SARIF 2.1.0.
+//
+// Both writers are byte-deterministic functions of (result, registry):
+// no timestamps, hostnames or absolute paths ever appear in the output,
+// so scripts/check_smtlint.sh can assert two runs compare equal and CI
+// can cache SARIF artifacts by content.
+#pragma once
+
+#include <iosfwd>
+
+#include "lint/rule.hpp"
+#include "lint/runner.hpp"
+
+namespace smt::lint {
+
+/// Version stamped into SARIF tool metadata; bump when rule semantics
+/// change enough that existing baselines may need regeneration.
+inline constexpr const char* kSmtlintVersion = "1.0.0";
+
+/// One "path:line:col: error: message [rule-id]" line per finding,
+/// followed by a summary line ("smtlint: OK ..." or "smtlint: N
+/// finding(s) ...").
+void write_text(std::ostream& os, const LintResult& result);
+
+/// SARIF 2.1.0 document: one run, the full rule catalog under
+/// tool.driver.rules, one result per finding (level "error",
+/// ruleIndex into the catalog).
+void write_sarif(std::ostream& os, const LintResult& result,
+                 const RuleRegistry& registry);
+
+}  // namespace smt::lint

@@ -7,7 +7,14 @@
 #include <stdexcept>
 #include <string>
 
+#include "isa/instruction.hpp"
+#include "mem/hierarchy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stall.hpp"
+#include "obs/trace_event.hpp"
 #include "obs/trace_sink.hpp"
+#include "prof/phase_profiler.hpp"
+#include "workload/thread_program.hpp"
 
 namespace smt::pipeline {
 

@@ -33,6 +33,7 @@
 #include "obs/metrics.hpp"
 #include "obs/stall.hpp"
 #include "obs/trace_event.hpp"
+#include "obs/trace_sink.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/counters.hpp"
 #include "policy/fetch_policy.hpp"

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "pipeline/counters.hpp"
+
 namespace smt::policy {
 
 std::string_view name(FetchPolicy p) noexcept {

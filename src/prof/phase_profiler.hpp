@@ -33,6 +33,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 #include "prof/host_clock.hpp"
 
 namespace smt::obs {

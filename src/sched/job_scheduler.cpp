@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/detector.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/pipeline.hpp"
 #include "workload/app_profile.hpp"
+#include "workload/thread_program.hpp"
 
 namespace smt::sched {
 

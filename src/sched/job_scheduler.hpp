@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "pipeline/config.hpp"
 #include "pipeline/pipeline.hpp"
 #include "workload/thread_program.hpp"
 

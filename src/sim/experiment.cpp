@@ -3,8 +3,13 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "core/detector.hpp"
+#include "core/heuristics.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/switch_audit.hpp"
 #include "par/thread_pool.hpp"
+#include "policy/fetch_policy.hpp"
+#include "workload/mix.hpp"
 
 namespace smt::sim {
 

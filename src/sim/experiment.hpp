@@ -10,7 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "core/detector.hpp"
 #include "core/heuristics.hpp"
+#include "fault/fault_plan.hpp"
+#include "policy/fetch_policy.hpp"
 #include "sim/oracle.hpp"
 #include "sim/sampling.hpp"
 #include "sim/simulator.hpp"

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "par/thread_pool.hpp"
+#include "policy/fetch_policy.hpp"
 
 namespace smt::sim {
 

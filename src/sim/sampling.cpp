@@ -1,6 +1,8 @@
 #include "sim/sampling.hpp"
 
 #include "common/rng.hpp"
+#include "core/detector.hpp"
+#include "core/guard.hpp"
 
 namespace smt::sim {
 

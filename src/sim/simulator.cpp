@@ -4,10 +4,25 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/invariants.hpp"
 #include "common/build_info.hpp"
 #include "common/host_info.hpp"
+#include "core/detector.hpp"
+#include "core/guard.hpp"
 #include "core/heuristics.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stall.hpp"
+#include "obs/switch_audit.hpp"
+#include "obs/trace_event.hpp"
+#include "obs/trace_sink.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/counters.hpp"
+#include "pipeline/pipeline.hpp"
+#include "policy/fetch_policy.hpp"
+#include "prof/phase_profiler.hpp"
 #include "workload/app_profile.hpp"
+#include "workload/mix.hpp"
 #include "workload/thread_program.hpp"
 
 namespace smt::sim {

@@ -14,11 +14,15 @@
 
 #include "check/invariants.hpp"
 #include "core/detector.hpp"
+#include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stall.hpp"
 #include "obs/trace_sink.hpp"
+#include "pipeline/config.hpp"
 #include "pipeline/pipeline.hpp"
 #include "policy/fetch_policy.hpp"
+#include "prof/phase_profiler.hpp"
 #include "workload/mix.hpp"
 
 namespace smt::sim {

@@ -19,15 +19,19 @@
 #include <iostream>
 #include <string>
 
+#include "check/invariants.hpp"
 #include "common/build_info.hpp"
 #include "common/cli.hpp"
 #include "common/exit_codes.hpp"
 #include "common/host_info.hpp"
 #include "common/table.hpp"
 #include "core/heuristics.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 #include "obs/trace_sink.hpp"
 #include "par/thread_pool.hpp"
+#include "pipeline/pipeline.hpp"
 #include "prof/phase_profiler.hpp"
 #include "sim/oracle.hpp"
 #include "sim/simulator.hpp"
@@ -260,17 +264,17 @@ int main(int argc, char** argv) {
                        "prof", "version"});
     if (args.has("help")) {
       std::cout << kUsage;
-      return 0;
+      return kExitOk;
     }
     if (args.has("version")) {
       const BuildInfo& bi = build_info();
       std::cout << "smtsim " << bi.version << " (" << bi.git_sha << ", "
                 << bi.compiler << ", " << bi.flags << ")\n";
-      return 0;
+      return kExitOk;
     }
     if (args.has("list")) {
       list_everything();
-      return 0;
+      return kExitOk;
     }
 
     sim::SimConfig cfg;

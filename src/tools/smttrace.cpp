@@ -35,8 +35,11 @@
 #include "common/exit_codes.hpp"
 #include "common/table.hpp"
 #include "obs/histogram.hpp"
+#include "obs/stall.hpp"
 #include "obs/switch_audit.hpp"
+#include "obs/trace_event.hpp"
 #include "obs/trace_read.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/simulator.hpp"
 
 namespace {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "isa/instruction.hpp"
 #include <map>
 #include <stdexcept>
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "isa/instruction.hpp"
+
 namespace smt::workload {
 
 namespace {
