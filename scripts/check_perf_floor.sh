@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Performance-floor gate: the committed BENCH_perf.json is the baseline,
+# and a freshly built bench_sim_throughput must reach at least
+# SMT_PERF_FLOOR (default 0.7) of its single-run sim_mips. The generous
+# factor tolerates host-to-host variance while still catching
+# order-of-magnitude regressions: accidental debug/sanitizer builds,
+# hot-path slips, quadratic per-cycle scans.
+#
+# The single-run number is host-dependent, so the gate is meaningful on
+# hosts comparable to the one that produced the committed baseline
+# (host_cpu/host_cores are recorded in the JSON for exactly this reason);
+# set SMT_PERF_FLOOR lower, or 0 to disable, on slower machines.
+#
+# Usage: scripts/check_perf_floor.sh [build_dir]
+#   BUILD_DIR / $1    build tree (default: build)
+#   SMT_PERF_FLOOR    required fraction of baseline sim_mips (default 0.7)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-${BUILD_DIR:-$repo/build}}"
+floor="${SMT_PERF_FLOOR:-0.7}"
+baseline="$repo/BENCH_perf.json"
+bench="$build/bench/bench_sim_throughput"
+
+if [ ! -f "$baseline" ]; then
+  echo "check_perf_floor: no committed BENCH_perf.json; skipped"
+  exit 0
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "check_perf_floor: python3 unavailable; skipped"
+  exit 0
+fi
+
+# Rebuild so the gate always measures the tree as it stands, never a
+# stale binary.
+cmake --build "$build" --target bench_sim_throughput >/dev/null
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+SMT_BENCH_SCALE=quick SMT_JOBS=1 "$bench" --json > "$tmp/perf.json"
+
+python3 - "$baseline" "$tmp/perf.json" "$floor" <<'EOF'
+import json
+import sys
+
+base_doc = json.load(open(sys.argv[1]))
+cur_doc = json.load(open(sys.argv[2]))
+base = base_doc["single_run"]["sim_mips"]
+cur = cur_doc["single_run"]["sim_mips"]
+floor = float(sys.argv[3])
+need = base * floor
+ok = cur >= need
+print(f"check_perf_floor: current {cur:.2f} sim-MIPS vs baseline "
+      f"{base:.2f} (floor {floor:.2f}x -> {need:.2f}): "
+      f"{'ok' if ok else 'FAIL'}")
+if not ok:
+    print(f"  baseline host: {base_doc.get('host_cpu', '?')} "
+          f"({base_doc.get('host_cores', '?')} cores)", file=sys.stderr)
+    print(f"  current host:  {cur_doc.get('host_cpu', '?')} "
+          f"({cur_doc.get('host_cores', '?')} cores)", file=sys.stderr)
+    print("  if the hosts are not comparable, rerun with a lower "
+          "SMT_PERF_FLOOR; otherwise a change regressed the hot path",
+          file=sys.stderr)
+sys.exit(0 if ok else 1)
+EOF

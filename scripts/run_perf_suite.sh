@@ -66,3 +66,10 @@ if command -v python3 >/dev/null 2>&1; then
 else
   echo "== $out written (python3 unavailable; skipped validation)"
 fi
+
+if grep -q '"degenerate_parallel": true' "$out"; then
+  echo "WARNING: single-core host — the sweep/oracle speedup figures in" >&2
+  echo "  $out measure thread-pool overhead, not parallelism; do not" >&2
+  echo "  compare them against multi-core baselines (host_cores is" >&2
+  echo "  recorded next to each speedup for exactly this reason)." >&2
+fi

@@ -463,10 +463,12 @@ class HotPathAllocRule : public Rule {
  public:
   std::string_view id() const noexcept override { return "hot-path-alloc"; }
   std::string_view description() const noexcept override {
-    return "no std::function anywhere in src/pipeline/ or src/sim/, and "
-           "no explicit heap allocation (new, make_unique, make_shared, "
-           "malloc) inside their per-cycle step paths (functions named "
-           "step*, *_step, do_*, tick, cycle)";
+    return "no std::function or nested std::vector<std::vector<...>> "
+           "anywhere in src/pipeline/ or src/sim/, and no explicit heap "
+           "allocation (new, make_unique, make_shared, malloc) or "
+           "element-shifting container call (erase, mid-vector insert) "
+           "inside their per-cycle step paths (functions named step*, "
+           "*_step, do_*, tick, cycle)";
   }
 
   void check(const SourceFile& f, std::vector<Finding>& out) const override {
@@ -481,7 +483,31 @@ class HotPathAllocRule : public Rule {
     static const char* const kAlloc[] = {"new",    "make_unique",
                                          "make_shared", "malloc",
                                          "calloc", "realloc"};
+    // O(n) element-shifting calls: every erase()/insert() on a contiguous
+    // container shifts the tail, and each one the AoS core carried turned
+    // into a measurable per-cycle cost. The SoA core replaces them with
+    // bitmask compaction, and this keeps them from creeping back in.
+    static const char* const kShift[] = {"erase", "insert"};
     for (int line = 1; line <= f.line_count(); ++line) {
+      const std::string& code = f.code(line);
+      // Nested vectors are a per-element pointer chase plus one heap
+      // allocation per inner vector; the hot structures are flat arrays
+      // indexed ring- or lane-wise, so the nested spelling is banned
+      // file-wide (members declared anywhere are used by the step paths).
+      for (std::size_t pos = code.find("vector<"); pos != std::string::npos;
+           pos = code.find("vector<", pos + 1)) {
+        std::size_t i = pos + 7;
+        while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) ++i;
+        if (code.compare(i, 5, "std::", 5) == 0) i += 5;
+        if (code.compare(i, 7, "vector<", 7) == 0) {
+          out.push_back({"hot-path-alloc", p, line,
+                         static_cast<int>(pos) + 1,
+                         "nested std::vector<std::vector<...>> in the "
+                         "simulation core: one heap block per inner vector "
+                         "and a pointer chase per element; use a flat "
+                         "array with ring/lane indexing"});
+        }
+      }
       const bool hot = [&] {
         for (const std::string& fn : f.enclosing_functions(line)) {
           if (is_step_path(fn)) return true;
@@ -489,7 +515,6 @@ class HotPathAllocRule : public Rule {
         return false;
       }();
       if (!hot) continue;
-      const std::string& code = f.code(line);
       for (const char* w : kAlloc) {
         for (std::size_t pos = find_word(code, w); pos != std::string::npos;
              pos = find_word(code, w, pos + 1)) {
@@ -501,10 +526,35 @@ class HotPathAllocRule : public Rule {
                              "(preallocate in the constructor)"});
         }
       }
+      for (const char* w : kShift) {
+        for (std::size_t pos = find_word(code, w); pos != std::string::npos;
+             pos = find_word(code, w, pos + 1)) {
+          if (!is_member_call(code, pos, std::string(w).size())) continue;
+          out.push_back({"hot-path-alloc", p, line,
+                         static_cast<int>(pos) + 1,
+                         std::string(".") + w +
+                             "() inside a per-cycle step path shifts the "
+                             "container tail every call: compact with a "
+                             "swap-and-pop or a bitmask pass instead"});
+        }
+      }
     }
   }
 
  private:
+  /// `pos` names a member call: preceded by `.` or `->` and followed by
+  /// `(`. Filters bare words (an `insert` local, set::insert free use in
+  /// comments is already blanked).
+  [[nodiscard]] static bool is_member_call(const std::string& code,
+                                           std::size_t pos,
+                                           std::size_t len) {
+    const bool dot = pos >= 1 && code[pos - 1] == '.';
+    const bool arrow =
+        pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>';
+    if (!dot && !arrow) return false;
+    return next_nonspace_is(code, pos + len, '(');
+  }
+
   [[nodiscard]] static bool is_step_path(const std::string& fn) {
     if (fn == "step" || fn == "tick" || fn == "cycle") return true;
     if (fn.rfind("step_", 0) == 0 || fn.rfind("do_", 0) == 0) return true;

@@ -41,6 +41,16 @@ void MetricsRegistry::put(std::string_view name, Value v) {
   entries_.emplace_back(std::string(name), std::move(v));
 }
 
+bool MetricsRegistry::erase(std::string_view name) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == name) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 std::optional<MetricsRegistry::Value> MetricsRegistry::find(
     std::string_view name) const {
   for (const auto& e : entries_) {

@@ -50,6 +50,11 @@ class MetricsRegistry {
   /// Look up a value by its full dotted name; nullopt when absent.
   [[nodiscard]] std::optional<Value> find(std::string_view name) const;
 
+  /// Remove the entry with this exact dotted name; returns whether one
+  /// existed. Used by golden-digest tests to drop build/host provenance
+  /// keys (the same set run_bench_suite.sh strips) before hashing.
+  bool erase(std::string_view name);
+
   /// Serialize as nested JSON (keys sorted lexicographically so sibling
   /// groups are contiguous; repeated set() keeps the last value).
   void write_json(std::ostream& os) const;

@@ -42,6 +42,14 @@ namespace {
 /// Depth to scan the in-flight window for store→load forwarding.
 constexpr std::uint64_t kForwardScanDepth = 16;
 
+[[nodiscard]] unsigned ctz64(std::uint64_t x) noexcept {
+  return static_cast<unsigned>(__builtin_ctzll(x));
+}
+
+[[nodiscard]] unsigned popcount64(std::uint64_t x) noexcept {
+  return static_cast<unsigned>(__builtin_popcountll(x));
+}
+
 }  // namespace
 
 Pipeline::Pipeline(const PipelineConfig& cfg,
@@ -50,8 +58,7 @@ Pipeline::Pipeline(const PipelineConfig& cfg,
       mem_(cfg.memory),
       bp_(cfg.predictor),
       int_rename_free_(cfg.int_rename_regs),
-      fp_rename_free_(cfg.fp_rename_regs),
-      completion_(kCompletionRing) {
+      fp_rename_free_(cfg.fp_rename_regs) {
   if (programs.empty()) {
     throw std::invalid_argument("Pipeline: needs at least one program");
   }
@@ -63,41 +70,46 @@ Pipeline::Pipeline(const PipelineConfig& cfg,
   if (cfg.memory.mem_latency + cfg.lat_int_div + 2 >= kCompletionRing) {
     throw std::invalid_argument("Pipeline: latency exceeds completion ring");
   }
+  if (cfg.int_iq_size > 64 || cfg.fp_iq_size > 64) {
+    // Per-cycle ready/mem/issued sets are single 64-bit masks.
+    throw std::invalid_argument("Pipeline: IQ size exceeds 64");
+  }
+
+  window_cap_ = 1;
+  while (window_cap_ < cfg.rob_per_thread) window_cap_ <<= 1;
+  slot_mask_ = window_cap_ - 1;
+
   threads_.reserve(programs.size());
   for (auto& prog : programs) {
     Thread t;
     t.program = std::move(prog);
-    t.window = FixedQueue<DynInstr>(cfg.rob_per_thread);
+    t.si.resize(window_cap_);
+    t.seq.resize(window_cap_, 0);
+    t.uid.resize(window_cap_, 0);
+    t.age.resize(window_cap_, 0);
+    t.dispatch_ready.resize(window_cap_, 0);
+    t.state.resize(window_cap_,
+                   static_cast<std::uint8_t>(InstrState::kEmpty));
+    t.flags.resize(window_cap_, 0);
+    t.pview.resize(window_cap_, -1);
+    t.done_bits.resize((window_cap_ + 63) / 64, 0);
+    t.waiter_head.assign(window_cap_, kNoWaiter);
     t.replay = FixedQueue<isa::Instruction>(cfg.rob_per_thread + cfg.fetch_width);
     threads_.push_back(std::move(t));
   }
-  int_iq_.reserve(cfg.int_iq_size);
-  fp_iq_.reserve(cfg.fp_iq_size);
-  dispatch_fifo_ = FixedQueue<InstrRef>(
+  waiter_next_.fill(kNoWaiter);
+  dispatch_fifo_ = FixedQueue<FifoRef>(
       threads_.size() * cfg.fetch_buffer_cap + cfg.fetch_width);
 
-  // Pre-size the per-cycle scratch and the completion-ring lanes so the
+  // Pre-size the per-cycle scratch and the completion ring so the
   // steady-state loop never heap-allocates.
   fetch_cands_.reserve(threads_.size());
-  int_issued_.reserve(cfg.issue_width);
-  fp_issued_.reserve(cfg.issue_width);
   squash_replay_.reserve(cfg.rob_per_thread);
   squash_backlog_.reserve(cfg.rob_per_thread + cfg.fetch_width);
   squash_keep_.reserve(dispatch_fifo_.capacity());
-  for (auto& lane : completion_) lane.reserve(cfg.issue_width);
-}
-
-Pipeline::DynInstr& Pipeline::instr_at(std::uint32_t tid, std::uint64_t seq) {
-  Thread& t = threads_[tid];
-  assert(seq >= t.head_seq && seq < t.head_seq + t.window.size());
-  return t.window[static_cast<std::size_t>(seq - t.head_seq)];
-}
-
-const Pipeline::DynInstr& Pipeline::instr_at(std::uint32_t tid,
-                                             std::uint64_t seq) const {
-  const Thread& t = threads_[tid];
-  assert(seq >= t.head_seq && seq < t.head_seq + t.window.size());
-  return t.window[static_cast<std::size_t>(seq - t.head_seq)];
+  completion_lane_ = std::max<std::uint32_t>(cfg.issue_width, 1);
+  completion_.resize(std::size_t{kCompletionRing} * completion_lane_);
+  completion_n_.assign(kCompletionRing, 0);
 }
 
 void Pipeline::run(std::uint64_t n) {
@@ -154,6 +166,30 @@ void Pipeline::set_profiler(prof::PhaseProfiler* p, const ProfNodes& nodes,
 }
 
 // ---------------------------------------------------------------------------
+// Completion ring.
+// ---------------------------------------------------------------------------
+void Pipeline::completion_push(std::uint64_t done_cycle, const DoneRef& ref) {
+  const std::uint32_t lane =
+      static_cast<std::uint32_t>(done_cycle) & (kCompletionRing - 1);
+  if (completion_n_[lane] == completion_lane_) completion_grow();
+  completion_[std::size_t{lane} * completion_lane_ + completion_n_[lane]++] =
+      ref;
+}
+
+void Pipeline::completion_grow() {
+  const std::uint32_t next_lane = completion_lane_ * 2;
+  std::vector<DoneRef> next(std::size_t{kCompletionRing} * next_lane);
+  for (std::uint32_t lane = 0; lane < kCompletionRing; ++lane) {
+    for (std::uint32_t k = 0; k < completion_n_[lane]; ++k) {
+      next[std::size_t{lane} * next_lane + k] =
+          completion_[std::size_t{lane} * completion_lane_ + k];
+    }
+  }
+  completion_.swap(next);
+  completion_lane_ = next_lane;
+}
+
+// ---------------------------------------------------------------------------
 // Commit: per-thread in-order retirement, shared bandwidth, rotating start.
 // ---------------------------------------------------------------------------
 void Pipeline::do_commit() {
@@ -162,19 +198,20 @@ void Pipeline::do_commit() {
   for (std::uint32_t i = 0; i < n && budget > 0; ++i) {
     const std::uint32_t tid = static_cast<std::uint32_t>((cycle_ + i) % n);
     Thread& t = threads_[tid];
-    while (budget > 0 && !t.window.empty()) {
-      DynInstr& head = t.window.front();
-      if (head.state != DynInstr::State::kDone) break;
-      assert(!head.wrong_path && "wrong-path instruction reached commit");
+    while (budget > 0 && !win_empty(t)) {
+      const std::uint32_t slot = slot_of(t.head_seq);
+      if (t.state[slot] != static_cast<std::uint8_t>(InstrState::kDone)) break;
+      assert(!(t.flags[slot] & kFlagWrongPath) &&
+             "wrong-path instruction reached commit");
 
-      const bool is_syscall = head.si.cls == isa::InstrClass::kSyscall;
-      if (head.pview >= 0) pview_close(head, obs::PipeTerminal::kCommit);
-      release_instr_resources(tid, head, /*completed_ok=*/true);
+      const bool is_syscall = t.si[slot].cls == isa::InstrClass::kSyscall;
+      if (t.pview[slot] >= 0) pview_close(t, slot, obs::PipeTerminal::kCommit);
+      release_instr_resources(tid, slot, /*completed_ok=*/true);
       ++t.counters.committed_total;
       ++t.counters.committed_quantum;
       ++stats_.committed;
       --budget;
-      t.window.pop_front();
+      t.state[slot] = static_cast<std::uint8_t>(InstrState::kEmpty);
       ++t.head_seq;
       if (is_syscall) {
         syscall_flush(tid);
@@ -189,42 +226,59 @@ void Pipeline::do_commit() {
 // branches, trigger mispredict squashes.
 // ---------------------------------------------------------------------------
 void Pipeline::do_complete() {
-  auto& slot = completion_[cycle_ % kCompletionRing];
-  for (const InstrRef& ref : slot) {
+  const std::uint32_t lane =
+      static_cast<std::uint32_t>(cycle_) & (kCompletionRing - 1);
+  const std::uint32_t count = completion_n_[lane];
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const DoneRef ref =
+        completion_[std::size_t{lane} * completion_lane_ + k];
     Thread& t = threads_[ref.tid];
-    // Stale-reference checks: the instruction may have been squashed (and
-    // its seq reused by a later fetch).
-    if (ref.seq < t.head_seq || ref.seq >= t.head_seq + t.window.size()) {
+    // Stale-reference check: uids are never reused, so a match means this
+    // is the same instruction and it is still in flight; requiring
+    // kIssued rejects squashed slots (kEmpty) and reclaimed ones.
+    if (t.uid[ref.slot] != ref.uid ||
+        t.state[ref.slot] != static_cast<std::uint8_t>(InstrState::kIssued)) {
       continue;
     }
-    DynInstr& d = instr_at(ref.tid, ref.seq);
-    if (d.uid != ref.uid || d.state != DynInstr::State::kIssued) continue;
+    const std::uint32_t slot = ref.slot;
 
-    d.state = DynInstr::State::kDone;
-    if (d.pview >= 0) pview_stamp(d, obs::PipeStage::kWriteback);
+    t.state[slot] = static_cast<std::uint8_t>(InstrState::kDone);
+    set_done_bit(t, slot);
+    // Wake the IQ entries parked on this producer: each either becomes
+    // ready or moves to its other outstanding producer's chain.
+    std::uint8_t w = t.waiter_head[slot];
+    t.waiter_head[slot] = kNoWaiter;
+    while (w != kNoWaiter) {
+      const std::uint8_t nxt = waiter_next_[w];
+      place_entry(w, w < 64 ? int_iq_.slots[w] : fp_iq_.slots[w - 64]);
+      w = nxt;
+    }
+    if (t.pview[slot] >= 0) pview_stamp(t, slot, obs::PipeStage::kWriteback);
     ThreadCounters& c = t.counters;
-    if (d.si.cls == isa::InstrClass::kLoad) {
+    const isa::InstrClass cls = t.si[slot].cls;
+    if (cls == isa::InstrClass::kLoad) {
       --c.icount;  // leaves the load queue
       --c.ldcount;
       --c.memcount;
-      if (d.counted_l1d_outstanding) {
+      if (t.flags[slot] & kFlagL1dOutstanding) {
         --c.l1d_outstanding;
-        d.counted_l1d_outstanding = false;
+        t.flags[slot] &= static_cast<std::uint8_t>(~kFlagL1dOutstanding);
       }
-    } else if (d.si.cls == isa::InstrClass::kStore) {
+    } else if (cls == isa::InstrClass::kStore) {
       --c.icount;  // leaves the store queue
       --c.memcount;
-    } else if (d.si.cls == isa::InstrClass::kBranch) {
+    } else if (cls == isa::InstrClass::kBranch) {
       --c.brcount;
-      if (!d.wrong_path) {
+      if (!(t.flags[slot] & kFlagWrongPath)) {
+        const bool mispredicted = (t.flags[slot] & kFlagMispredicted) != 0;
         ++stats_.branches_resolved;
         ++c.cond_branches_quantum;
-        bp_.update(ref.tid, d.si.pc, d.si.taken, d.si.branch_target,
-                   d.mispredicted);
-        if (d.mispredicted) {
+        bp_.update(ref.tid, t.si[slot].pc, t.si[slot].taken,
+                   t.si[slot].branch_target, mispredicted);
+        if (mispredicted) {
           ++stats_.mispredicts;
           ++c.mispredicts_quantum;
-          squash_from(ref.tid, d.seq + 1, /*replay_correct_path=*/false,
+          squash_from(ref.tid, t.seq[slot] + 1, /*replay_correct_path=*/false,
                       obs::PipeTerminal::kSquashMispredict);
           t.wrong_path_mode = false;
           t.fetch_stall_until =
@@ -234,40 +288,26 @@ void Pipeline::do_complete() {
       }
     }
   }
-  slot.clear();
+  completion_n_[lane] = 0;
 }
 
 // ---------------------------------------------------------------------------
 // Issue: oldest-first over both queues, FU and width constraints.
 // ---------------------------------------------------------------------------
-bool Pipeline::deps_ready(const Thread& t, const DynInstr& d) const {
-  for (const std::uint16_t dep : {d.si.dep1, d.si.dep2}) {
-    if (dep == 0) continue;
-    if (dep > d.seq) continue;  // predates the stream: architected value
-    const std::uint64_t pseq = d.seq - dep;
-    if (pseq < t.head_seq) continue;  // producer already committed
-    const DynInstr& p =
-        t.window[static_cast<std::size_t>(pseq - t.head_seq)];
-    if (p.state != DynInstr::State::kDone) return false;
-  }
-  return true;
-}
-
 std::uint32_t Pipeline::load_latency(std::uint32_t tid, Thread& t,
-                                     const DynInstr& d) {
+                                     std::uint32_t slot) {
   // Store→load forwarding from the in-flight window (bounded scan).
+  const std::uint64_t seq = t.seq[slot];
+  const std::uint64_t addr = t.si[slot].mem_addr;
   const std::uint64_t limit = std::min<std::uint64_t>(
-      kForwardScanDepth, d.seq > t.head_seq ? d.seq - t.head_seq : 0);
+      kForwardScanDepth, seq > t.head_seq ? seq - t.head_seq : 0);
   for (std::uint64_t k = 1; k <= limit; ++k) {
-    const DynInstr& older =
-        t.window[static_cast<std::size_t>(d.seq - k - t.head_seq)];
-    if (older.si.cls == isa::InstrClass::kStore &&
-        older.si.mem_addr == d.si.mem_addr) {
+    const isa::Instruction& older = t.si[slot_of(seq - k)];
+    if (older.cls == isa::InstrClass::kStore && older.mem_addr == addr) {
       return cfg_.lat_int_alu;  // forwarded: ALU-like latency
     }
   }
-  const mem::AccessResult r =
-      mem_.lookup_data(tid, d.si.mem_addr, /*write=*/false);
+  const mem::AccessResult r = mem_.lookup_data(tid, addr, /*write=*/false);
   if (r.l1_miss) {
     ++t.counters.l1d_misses_quantum;
   }
@@ -280,94 +320,110 @@ void Pipeline::do_issue() {
   std::uint32_t mem_budget = cfg_.mem_ports;
   std::uint32_t fp_budget = cfg_.fp_units;
 
-  // Merge the two age-ordered queues oldest-first.
-  std::size_t ii = 0;
-  std::size_t fi = 0;
-  // Indices issued this cycle, per queue, for compaction afterwards
-  // (reused scratch; cleared every cycle).
-  std::vector<std::size_t>& int_issued = int_issued_;
-  std::vector<std::size_t>& fp_issued = fp_issued_;
-  int_issued.clear();
-  fp_issued.clear();
+  // The ready masks are maintained incrementally (dispatch marks or
+  // enlists, do_complete wakes waiter chains), so this stage never
+  // evaluates readiness: it repeatedly takes the globally-oldest ready
+  // entry whose FU class still has budget. That greedy order is exactly
+  // the old oldest-first walk's outcome — non-ready entries never
+  // consumed budget there either — at a cost proportional to the ready
+  // set (a handful) instead of the queue occupancy (up to 128).
+  while (total > 0) {
+    std::uint64_t int_cand = int_budget > 0 ? int_iq_.ready : 0;
+    if (mem_budget == 0) int_cand &= ~int_iq_.mem;
+    const std::uint64_t fp_cand = fp_budget > 0 ? fp_iq_.ready : 0;
+    if ((int_cand | fp_cand) == 0) break;
 
-  while (total > 0 && (ii < int_iq_.size() || fi < fp_iq_.size())) {
-    const bool take_int =
-        fi >= fp_iq_.size() ||
-        (ii < int_iq_.size() && int_iq_[ii].age < fp_iq_[fi].age);
-
-    const InstrRef ref = take_int ? int_iq_[ii] : fp_iq_[fi];
-    const std::size_t qidx = take_int ? ii : fi;
-    if (take_int) ++ii; else ++fi;
-
-    // Queue-wide FU exhaustion needs no window lookup at all.
-    if (take_int) {
-      if (int_budget == 0) continue;
-    } else {
-      if (fp_budget == 0) continue;
+    bool take_int = false;
+    unsigned qidx = 0;
+    std::uint64_t best_age = ~std::uint64_t{0};
+    for (std::uint64_t m = int_cand; m != 0; m &= m - 1) {
+      const unsigned i = ctz64(m);
+      if (int_iq_.slots[i].age < best_age) {
+        best_age = int_iq_.slots[i].age;
+        qidx = i;
+        take_int = true;
+      }
+    }
+    for (std::uint64_t m = fp_cand; m != 0; m &= m - 1) {
+      const unsigned i = ctz64(m);
+      if (fp_iq_.slots[i].age < best_age) {
+        best_age = fp_iq_.slots[i].age;
+        qidx = i;
+        take_int = false;
+      }
     }
 
-    Thread& t = threads_[ref.tid];
-    DynInstr& d = instr_at(ref.tid, ref.seq);
-    assert(d.uid == ref.uid && d.state == DynInstr::State::kQueued);
+    IssueQueue& q = take_int ? int_iq_ : fp_iq_;
+    const IqRef r = q.slots[qidx];
+    const std::uint64_t bit = 1ull << qidx;
+    q.occ &= ~bit;
+    q.ready &= ~bit;
+    q.mem &= ~bit;
 
-    // FU availability for this class.
-    const bool is_mem = isa::is_mem(d.si.cls);
-    if (take_int && is_mem && mem_budget == 0) continue;
-    if (!deps_ready(t, d)) continue;
+    Thread& t = threads_[r.tid];
+    const std::uint32_t slot = r.slot;
+    assert(t.state[slot] == static_cast<std::uint8_t>(InstrState::kQueued));
+    assert(iq_ready(r));
+    const isa::InstrClass cls = t.si[slot].cls;
 
     // Issue it.
-    std::uint32_t latency = cfg_.latency_for(d.si.cls);
-    if (d.si.cls == isa::InstrClass::kLoad) {
-      latency = load_latency(ref.tid, t, d);
+    std::uint32_t latency = cfg_.latency_for(cls);
+    if (cls == isa::InstrClass::kLoad) {
+      latency = load_latency(r.tid, t, slot);
       if (latency > cfg_.memory.l1_latency) {
         ++t.counters.l1d_outstanding;
-        d.counted_l1d_outstanding = true;
+        t.flags[slot] |= kFlagL1dOutstanding;
       }
-    } else if (d.si.cls == isa::InstrClass::kStore) {
+    } else if (cls == isa::InstrClass::kStore) {
       // Stores retire into the store buffer; the cache access happens now
       // for state/statistics, but the latency is off the critical path.
-      const mem::AccessResult r =
-          mem_.lookup_data(ref.tid, d.si.mem_addr, /*write=*/true);
-      if (r.l1_miss) ++t.counters.l1d_misses_quantum;
+      const mem::AccessResult res =
+          mem_.lookup_data(r.tid, t.si[slot].mem_addr, /*write=*/true);
+      if (res.l1_miss) ++t.counters.l1d_misses_quantum;
       latency = cfg_.lat_int_alu;
     }
 
-    d.state = DynInstr::State::kIssued;
-    d.done_cycle = cycle_ + latency;
-    if (d.pview >= 0) {
-      pview_stamp(d, obs::PipeStage::kIssue);
-      pview_stamp(d, obs::PipeStage::kExecute);
+    t.state[slot] = static_cast<std::uint8_t>(InstrState::kIssued);
+    if (t.pview[slot] >= 0) {
+      pview_stamp(t, slot, obs::PipeStage::kIssue);
+      pview_stamp(t, slot, obs::PipeStage::kExecute);
     }
-    if (!is_mem) --t.counters.icount;  // mem ops stay in the LQ/SQ
-    completion_[d.done_cycle % kCompletionRing].push_back(ref);
+    if (!r.is_mem) --t.counters.icount;  // mem ops stay in the LQ/SQ
+    completion_push(cycle_ + latency, DoneRef{t.uid[slot], r.tid, slot});
 
     --total;
     if (take_int) {
       --int_budget;
-      if (is_mem) --mem_budget;
-      int_issued.push_back(qidx);
+      if (r.is_mem) --mem_budget;
     } else {
       --fp_budget;
-      fp_issued.push_back(qidx);
     }
   }
+}
 
-  // Compact the queues (indices are ascending).
-  auto compact = [](std::vector<InstrRef>& q, const std::vector<std::size_t>& gone) {
-    if (gone.empty()) return;
-    std::size_t g = 0;
-    std::size_t out = 0;
-    for (std::size_t in = 0; in < q.size(); ++in) {
-      if (g < gone.size() && gone[g] == in) {
-        ++g;
-        continue;
-      }
-      q[out++] = q[in];
-    }
-    q.resize(out);
-  };
-  compact(int_iq_, int_issued);
-  compact(fp_iq_, fp_issued);
+// Classify IQ entry `id` now that something about its producers changed:
+// mark it ready, or enlist it on the waiter chain of its first
+// outstanding producer. Entries wait on one producer at a time; when
+// that one completes they are re-examined and either wake or move to
+// the other producer's chain, so each entry is relinked at most twice.
+void Pipeline::place_entry(std::uint32_t id, const IqRef& r) {
+  Thread& t = threads_[r.tid];
+  const auto head = static_cast<std::int64_t>(t.head_seq);
+  std::int64_t block = -1;
+  if (r.pr1 >= head &&
+      !done_bit(t, slot_of(static_cast<std::uint64_t>(r.pr1)))) {
+    block = r.pr1;
+  } else if (r.pr2 >= head &&
+             !done_bit(t, slot_of(static_cast<std::uint64_t>(r.pr2)))) {
+    block = r.pr2;
+  }
+  if (block < 0) {
+    (id < 64 ? int_iq_ : fp_iq_).ready |= 1ull << (id & 63);
+  } else {
+    const std::uint32_t ws = slot_of(static_cast<std::uint64_t>(block));
+    waiter_next_[id] = t.waiter_head[ws];
+    t.waiter_head[ws] = static_cast<std::uint8_t>(id);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -378,29 +434,30 @@ void Pipeline::do_issue() {
 void Pipeline::do_dispatch() {
   std::uint32_t budget = cfg_.dispatch_width;
   while (budget > 0 && !dispatch_fifo_.empty()) {
-    const InstrRef ref = dispatch_fifo_.front();
+    const FifoRef ref = dispatch_fifo_.front();
     Thread& t = threads_[ref.tid];
+    const std::uint32_t slot = ref.slot;
 
     // Entries for squashed instructions were scrubbed at squash time, so
     // the head is always live.
-    DynInstr& d = instr_at(ref.tid, ref.seq);
-    assert(d.uid == ref.uid && d.state == DynInstr::State::kFrontEnd);
-    if (d.dispatch_ready > cycle_) break;  // still in decode/rename
+    assert(t.state[slot] == static_cast<std::uint8_t>(InstrState::kFrontEnd));
+    if (t.dispatch_ready[slot] > cycle_) break;  // still in decode/rename
 
-    const bool fp = isa::is_fp(d.si.cls);
-    const bool is_mem = isa::is_mem(d.si.cls);
+    const isa::InstrClass cls = t.si[slot].cls;
+    const bool fp = isa::is_fp(cls);
+    const bool is_mem = isa::is_mem(cls);
 
     // Structural-hazard checks; failure stalls the whole stage.
     if (fp) {
-      if (fp_iq_.size() >= cfg_.fp_iq_size) break;
+      if (popcount64(fp_iq_.occ) >= cfg_.fp_iq_size) break;
     } else {
-      if (int_iq_.size() >= cfg_.int_iq_size) break;
+      if (popcount64(int_iq_.occ) >= cfg_.int_iq_size) break;
     }
     if (is_mem && lsq_used_ >= cfg_.lsq_size) {
       ++t.counters.lsq_full_events_quantum;
       break;
     }
-    if (has_dst_reg(d.si.cls)) {
+    if (has_dst_reg(cls)) {
       if (fp) {
         if (fp_rename_free_ == 0) break;
       } else {
@@ -409,19 +466,34 @@ void Pipeline::do_dispatch() {
     }
 
     // Acquire resources and enqueue.
-    if (has_dst_reg(d.si.cls)) {
+    if (has_dst_reg(cls)) {
       if (fp) --fp_rename_free_; else --int_rename_free_;
-      d.has_rename_reg = true;
+      t.flags[slot] |= kFlagRenameReg;
     }
     if (is_mem) {
       ++lsq_used_;
-      d.has_lsq_entry = true;
+      t.flags[slot] |= kFlagLsqEntry;
     }
-    d.state = DynInstr::State::kQueued;
-    d.age = next_age_++;
-    if (d.pview >= 0) pview_stamp(d, obs::PipeStage::kDispatch);
-    (fp ? fp_iq_ : int_iq_)
-        .push_back(InstrRef{ref.tid, ref.seq, ref.uid, d.age});
+    t.state[slot] = static_cast<std::uint8_t>(InstrState::kQueued);
+    t.age[slot] = next_age_++;
+    if (t.pview[slot] >= 0) pview_stamp(t, slot, obs::PipeStage::kDispatch);
+    // Resolve dep distances to producer seqs once, here: dep 0 (none) and
+    // deps predating the stream can never block, so they collapse to the
+    // -1 sentinel and the wakeup machinery never looks at them again.
+    const std::uint64_t seq = t.seq[slot];
+    const isa::Instruction& si = t.si[slot];
+    const auto producer = [seq](std::uint16_t dep) -> std::int64_t {
+      if (dep == 0 || dep > seq) return -1;
+      return static_cast<std::int64_t>(seq - dep);
+    };
+    IssueQueue& q = fp ? fp_iq_ : int_iq_;
+    const unsigned j = ctz64(~q.occ);  // free slot; full case broke above
+    const std::uint64_t jbit = 1ull << j;
+    q.occ |= jbit;
+    if (!fp && is_mem) q.mem |= jbit;
+    q.slots[j] = IqRef{t.age[slot], producer(si.dep1), producer(si.dep2),
+                       ref.tid, slot, is_mem};
+    place_entry(fp ? 64 + j : j, q.slots[j]);
     --t.frontend_count;
     dispatch_fifo_.pop_front();
     --budget;
@@ -467,7 +539,7 @@ void Pipeline::do_fetch() {
       blocked_by(tid, obs::StallCause::kFetchBlackout);
       continue;
     }
-    if (t.window.full()) {
+    if (win_full(t)) {
       blocked_by(tid, obs::StallCause::kRobFull);
       continue;
     }
@@ -482,11 +554,19 @@ void Pipeline::do_fetch() {
     cands.push_back(
         FetchCand{tid, key, static_cast<std::uint32_t>((tid + cycle_) % n)});
   }
-  std::sort(cands.begin(), cands.end(),
-            [](const FetchCand& a, const FetchCand& b) {
-              if (a.key != b.key) return a.key < b.key;
-              return a.tie < b.tie;
-            });
+  // Insertion sort: (key, tie) is a unique total order over at most 64
+  // candidates (usually <= 8), so this is both cheap and identical in
+  // result to any comparison sort.
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    const FetchCand c = cands[i];
+    std::size_t j = i;
+    while (j > 0 && (c.key < cands[j - 1].key ||
+                     (c.key == cands[j - 1].key && c.tie < cands[j - 1].tie))) {
+      cands[j] = cands[j - 1];
+      --j;
+    }
+    cands[j] = c;
+  }
 
   std::uint32_t slots = cfg_.fetch_width;
   std::uint32_t threads_used = 0;
@@ -531,7 +611,7 @@ void Pipeline::do_fetch() {
     n_max = std::min(n_max, slots);
 
     std::uint32_t got = 0;
-    while (got < n_max && !t.window.full() &&
+    while (got < n_max && !win_full(t) &&
            t.frontend_count <
                static_cast<std::int32_t>(cfg_.fetch_buffer_cap)) {
       isa::Instruction si;
@@ -544,14 +624,17 @@ void Pipeline::do_fetch() {
         si = t.program.next();
       }
 
-      DynInstr d;
-      d.si = si;
-      d.seq = t.next_seq++;
-      d.uid = next_uid_++;
-      d.state = DynInstr::State::kFrontEnd;
-      d.wrong_path = wrong;
-      d.dispatch_ready = cycle_ + cfg_.frontend_delay;
-      if (pview_.sink != nullptr) pview_open(d, cand.tid);
+      const std::uint64_t seq = t.next_seq++;
+      const std::uint32_t slot = slot_of(seq);
+      t.si[slot] = si;
+      t.seq[slot] = seq;
+      t.uid[slot] = next_uid_++;
+      t.dispatch_ready[slot] = cycle_ + cfg_.frontend_delay;
+      t.state[slot] = static_cast<std::uint8_t>(InstrState::kFrontEnd);
+      t.flags[slot] = wrong ? kFlagWrongPath : 0;
+      t.pview[slot] = -1;
+      clear_done_bit(t, slot);
+      if (pview_.sink != nullptr) pview_open(cand.tid, slot);
 
       ++c.icount;
       ++t.frontend_count;
@@ -574,11 +657,11 @@ void Pipeline::do_fetch() {
       bool stop_thread = false;
       if (si.cls == isa::InstrClass::kBranch) {
         const bool pred = bp_.predict(cand.tid, si.pc);
-        d.predicted_taken = pred;
+        if (pred) t.flags[slot] |= kFlagPredictedTaken;
         if (!wrong) {
           const bool mispred = pred != si.taken;
-          d.mispredicted = mispred;
           if (mispred) {
+            t.flags[slot] |= kFlagMispredicted;
             t.wrong_path_mode = true;
             // The front end follows the *predicted* path.
             t.wrong_pc = pred ? si.branch_target : si.pc + isa::kInstrBytes;
@@ -597,8 +680,7 @@ void Pipeline::do_fetch() {
         }
       }
 
-      dispatch_fifo_.push_back(InstrRef{cand.tid, d.seq, d.uid});
-      t.window.push_back(std::move(d));
+      dispatch_fifo_.push_back(FifoRef{cand.tid, slot});
       if (stop_thread) break;
     }
 
@@ -658,41 +740,42 @@ void Pipeline::do_fetch() {
 // ---------------------------------------------------------------------------
 // Squash machinery.
 // ---------------------------------------------------------------------------
-void Pipeline::release_instr_resources(std::uint32_t tid, DynInstr& d,
+void Pipeline::release_instr_resources(std::uint32_t tid, std::uint32_t slot,
                                        bool completed_ok) {
   Thread& t = threads_[tid];
   ThreadCounters& c = t.counters;
+  const isa::InstrClass cls = t.si[slot].cls;
+  const auto st = static_cast<InstrState>(t.state[slot]);
 
-  if (d.has_rename_reg) {
-    if (isa::is_fp(d.si.cls)) ++fp_rename_free_; else ++int_rename_free_;
-    d.has_rename_reg = false;
+  if (t.flags[slot] & kFlagRenameReg) {
+    if (isa::is_fp(cls)) ++fp_rename_free_; else ++int_rename_free_;
+    t.flags[slot] &= static_cast<std::uint8_t>(~kFlagRenameReg);
   }
-  if (d.has_lsq_entry) {
+  if (t.flags[slot] & kFlagLsqEntry) {
     --lsq_used_;
-    d.has_lsq_entry = false;
+    t.flags[slot] &= static_cast<std::uint8_t>(~kFlagLsqEntry);
   }
   if (completed_ok) return;
 
   // Squash path: undo occupancy contributions that completion would have
   // removed.
-  const bool mem = isa::is_mem(d.si.cls);
-  if (mem ? d.state != DynInstr::State::kDone
-          : (d.state == DynInstr::State::kFrontEnd ||
-             d.state == DynInstr::State::kQueued)) {
+  const bool mem = isa::is_mem(cls);
+  if (mem ? st != InstrState::kDone
+          : (st == InstrState::kFrontEnd || st == InstrState::kQueued)) {
     --c.icount;
   }
-  if (d.state == DynInstr::State::kFrontEnd) --t.frontend_count;
-  if (d.state != DynInstr::State::kDone) {
-    if (d.si.cls == isa::InstrClass::kBranch) --c.brcount;
-    if (d.si.cls == isa::InstrClass::kLoad) {
+  if (st == InstrState::kFrontEnd) --t.frontend_count;
+  if (st != InstrState::kDone) {
+    if (cls == isa::InstrClass::kBranch) --c.brcount;
+    if (cls == isa::InstrClass::kLoad) {
       --c.ldcount;
       --c.memcount;
-    } else if (d.si.cls == isa::InstrClass::kStore) {
+    } else if (cls == isa::InstrClass::kStore) {
       --c.memcount;
     }
-    if (d.counted_l1d_outstanding) {
+    if (t.flags[slot] & kFlagL1dOutstanding) {
       --c.l1d_outstanding;
-      d.counted_l1d_outstanding = false;
+      t.flags[slot] &= static_cast<std::uint8_t>(~kFlagL1dOutstanding);
     }
   }
 }
@@ -708,15 +791,16 @@ void Pipeline::squash_from(std::uint32_t tid, std::uint64_t first_seq,
   // allocating here shows up in profiles.
   std::vector<isa::Instruction>& to_replay = squash_replay_;
   to_replay.clear();
-  while (!t.window.empty() && t.window.back().seq >= first_seq) {
-    DynInstr& d = t.window.back();
-    if (d.pview >= 0) pview_close(d, cause);
-    release_instr_resources(tid, d, /*completed_ok=*/false);
-    if (replay_correct_path && !d.wrong_path) {
-      to_replay.push_back(d.si);
+  while (!win_empty(t) && t.seq[slot_of(t.next_seq - 1)] >= first_seq) {
+    const std::uint32_t slot = slot_of(t.next_seq - 1);
+    if (t.pview[slot] >= 0) pview_close(t, slot, cause);
+    release_instr_resources(tid, slot, /*completed_ok=*/false);
+    if (replay_correct_path && !(t.flags[slot] & kFlagWrongPath)) {
+      to_replay.push_back(t.si[slot]);
     }
     ++stats_.squashed;
-    t.window.pop_back();
+    t.state[slot] = static_cast<std::uint8_t>(InstrState::kEmpty);
+    --t.next_seq;
   }
   t.next_seq = first_seq;
 
@@ -734,27 +818,48 @@ void Pipeline::squash_from(std::uint32_t tid, std::uint64_t first_seq,
     for (const auto& si : backlog) t.replay.push_back(si);
   }
 
-  // Drop queue references to squashed instructions.
-  auto scrub = [tid, first_seq](std::vector<InstrRef>& q) {
-    std::size_t out = 0;
-    for (std::size_t in = 0; in < q.size(); ++in) {
-      if (q[in].tid == tid && q[in].seq >= first_seq) continue;
-      q[out++] = q[in];
+  // Drop queue references to squashed instructions. A squashed slot's seq
+  // entry still holds the squashed instruction's seq (slots are vacated,
+  // not cleared), so the seq test identifies exactly the victims.
+  const auto scrub = [this, tid, first_seq](IssueQueue& q) {
+    for (std::uint64_t m = q.occ; m != 0; m &= m - 1) {
+      const unsigned i = ctz64(m);
+      if (q.slots[i].tid == tid &&
+          threads_[tid].seq[q.slots[i].slot] >= first_seq) {
+        const std::uint64_t bit = 1ull << i;
+        q.occ &= ~bit;
+        q.ready &= ~bit;
+        q.mem &= ~bit;
+      }
     }
-    q.resize(out);
   };
   scrub(int_iq_);
   scrub(fp_iq_);
+  // Victims may sit anywhere in this thread's waiter chains (they enlist
+  // on *older* producers, which survive), so rebuild the thread's chains
+  // from its surviving not-ready entries. Producers and consumers share
+  // a thread, so no other thread's chains can hold a victim. Squashes
+  // are rare enough that the flat rebuild is cheaper than unlinking.
+  std::fill(t.waiter_head.begin(), t.waiter_head.end(), kNoWaiter);
+  const auto relink = [this, tid](IssueQueue& q, unsigned base) {
+    for (std::uint64_t m = q.occ & ~q.ready; m != 0; m &= m - 1) {
+      const unsigned i = ctz64(m);
+      if (q.slots[i].tid != tid) continue;
+      place_entry(base + i, q.slots[i]);
+    }
+  };
+  relink(int_iq_, 0);
+  relink(fp_iq_, 64);
 
   // Scrub the dispatch FIFO the same way (rebuild preserving order).
   if (!dispatch_fifo_.empty()) {
-    std::vector<InstrRef>& keep = squash_keep_;
+    std::vector<FifoRef>& keep = squash_keep_;
     keep.clear();
     while (!dispatch_fifo_.empty()) {
-      const InstrRef r = dispatch_fifo_.pop_front();
-      if (!(r.tid == tid && r.seq >= first_seq)) keep.push_back(r);
+      const FifoRef r = dispatch_fifo_.pop_front();
+      if (!(r.tid == tid && t.seq[r.slot] >= first_seq)) keep.push_back(r);
     }
-    for (const InstrRef& r : keep) dispatch_fifo_.push_back(r);
+    for (const FifoRef& r : keep) dispatch_fifo_.push_back(r);
   }
 }
 
@@ -762,7 +867,7 @@ void Pipeline::syscall_flush(std::uint32_t /*syscall_tid*/) {
   ++stats_.syscall_flushes;
   for (std::uint32_t tid = 0; tid < num_threads(); ++tid) {
     Thread& t = threads_[tid];
-    if (!t.window.empty()) {
+    if (!win_empty(t)) {
       squash_from(tid, t.head_seq, /*replay_correct_path=*/true,
                   obs::PipeTerminal::kSquashSyscall);
     }
@@ -783,7 +888,7 @@ workload::ThreadProgram Pipeline::swap_program(std::uint32_t tid,
                                                workload::ThreadProgram incoming,
                                                std::uint64_t penalty_cycles) {
   Thread& t = threads_[tid];
-  if (!t.window.empty()) {
+  if (!win_empty(t)) {
     squash_from(tid, t.head_seq, /*replay_correct_path=*/false,
                 obs::PipeTerminal::kSquashSwap);
   }
@@ -821,11 +926,12 @@ void Pipeline::set_pipeview(obs::TraceSink* sink,
                             std::vector<PipeviewWindow> windows,
                             std::uint64_t quantum_cycles) {
   pview_ = PipeviewState{};
-  // Any in-flight DynInstr::pview indices refer to the previous state's
-  // records (or to a copied-from pipeline's); scrub them so stale slots
-  // can never alias new ones.
+  // Any in-flight pview indices refer to the previous state's records (or
+  // to a copied-from pipeline's); scrub them so stale slots can never
+  // alias new ones. Vacated slots' indices are dead anyway, so scrubbing
+  // the whole array is harmless and simplest.
   for (Thread& t : threads_) {
-    for (std::size_t i = 0; i < t.window.size(); ++i) t.window[i].pview = -1;
+    std::fill(t.pview.begin(), t.pview.end(), -1);
   }
   if (sink == nullptr || windows.empty()) return;
   std::sort(windows.begin(), windows.end(),
@@ -837,7 +943,7 @@ void Pipeline::set_pipeview(obs::TraceSink* sink,
   pview_.quantum_cycles = quantum_cycles;
 }
 
-void Pipeline::pview_open(DynInstr& d, std::uint32_t tid) {
+void Pipeline::pview_open(std::uint32_t tid, std::uint32_t slot) {
   // Advance past exhausted windows.
   while (pview_.wi < pview_.windows.size() &&
          pview_.taken >= pview_.windows[pview_.wi].count) {
@@ -848,16 +954,17 @@ void Pipeline::pview_open(DynInstr& d, std::uint32_t tid) {
   if (cycle_ < pview_.windows[pview_.wi].start_cycle) return;
   ++pview_.taken;
 
-  std::int32_t slot;
+  std::int32_t rec;
   if (!pview_.free_slots.empty()) {
-    slot = pview_.free_slots.back();
+    rec = pview_.free_slots.back();
     pview_.free_slots.pop_back();
-    pview_.records[static_cast<std::size_t>(slot)] = PipeviewRecord{};
+    pview_.records[static_cast<std::size_t>(rec)] = PipeviewRecord{};
   } else {
-    slot = static_cast<std::int32_t>(pview_.records.size());
+    rec = static_cast<std::int32_t>(pview_.records.size());
     pview_.records.emplace_back();
   }
-  PipeviewRecord& r = pview_.records[static_cast<std::size_t>(slot)];
+  Thread& t = threads_[tid];
+  PipeviewRecord& r = pview_.records[static_cast<std::size_t>(rec)];
   r.open = true;
   obs::TraceEvent& e = r.ev;
   e.kind = obs::EventKind::kPipeview;
@@ -865,8 +972,8 @@ void Pipeline::pview_open(DynInstr& d, std::uint32_t tid) {
   e.quantum =
       pview_.quantum_cycles != 0 ? cycle_ / pview_.quantum_cycles : 0;
   e.tid = static_cast<std::int32_t>(tid);
-  e.value = static_cast<std::int64_t>(d.seq);
-  if (d.wrong_path) e.mask |= obs::kPipeWrongPath;
+  e.value = static_cast<std::int64_t>(t.seq[slot]);
+  if (t.flags[slot] & kFlagWrongPath) e.mask |= obs::kPipeWrongPath;
   // Decode/rename happen inside the fixed front-end delay; stamp them from
   // the configuration (decode one cycle after fetch, rename at the end of
   // the front end). With frontend_delay == 0 both collapse into fetch.
@@ -876,17 +983,18 @@ void Pipeline::pview_open(DynInstr& d, std::uint32_t tid) {
       static_cast<std::uint32_t>(cfg_.frontend_delay);
   ++pview_.opened;
   ++pview_.live;
-  d.pview = slot;
+  t.pview[slot] = rec;
 }
 
-void Pipeline::pview_stamp(DynInstr& d, obs::PipeStage stage) {
-  // Stale-index guard: a copied pipeline inherits DynInstr::pview values
+void Pipeline::pview_stamp(Thread& t, std::uint32_t slot,
+                           obs::PipeStage stage) {
+  // Stale-index guard: a copied pipeline inherits per-slot pview values
   // but drops the pipeview state (copies drop observers), so indices may
   // point at nothing. Reset and bail rather than stamping a ghost.
-  const auto idx = static_cast<std::size_t>(d.pview);
+  const auto idx = static_cast<std::size_t>(t.pview[slot]);
   if (pview_.sink == nullptr || idx >= pview_.records.size() ||
       !pview_.records[idx].open) {
-    d.pview = -1;
+    t.pview[slot] = -1;
     return;
   }
   obs::TraceEvent& e = pview_.records[idx].ev;
@@ -894,11 +1002,12 @@ void Pipeline::pview_stamp(DynInstr& d, obs::PipeStage stage) {
       static_cast<std::uint32_t>(cycle_ - e.cycle);
 }
 
-void Pipeline::pview_close(DynInstr& d, obs::PipeTerminal t) {
-  const auto idx = static_cast<std::size_t>(d.pview);
+void Pipeline::pview_close(Thread& t, std::uint32_t slot,
+                           obs::PipeTerminal term) {
+  const auto idx = static_cast<std::size_t>(t.pview[slot]);
   if (pview_.sink == nullptr || idx >= pview_.records.size() ||
       !pview_.records[idx].open) {
-    d.pview = -1;
+    t.pview[slot] = -1;
     return;
   }
   PipeviewRecord& r = pview_.records[idx];
@@ -912,13 +1021,13 @@ void Pipeline::pview_close(DynInstr& d, obs::PipeTerminal t) {
   }
   e.stage_delta[static_cast<std::size_t>(obs::PipeStage::kRetire)] = delta;
   e.span = delta;
-  e.code = static_cast<std::uint8_t>(t);
-  if (d.mispredicted) e.mask |= obs::kPipeMispredicted;
+  e.code = static_cast<std::uint8_t>(term);
+  if (t.flags[slot] & kFlagMispredicted) e.mask |= obs::kPipeMispredicted;
   pview_.sink->record(e);
   r.open = false;
   --pview_.live;
   pview_.free_slots.push_back(static_cast<std::int32_t>(idx));
-  d.pview = -1;
+  t.pview[slot] = -1;
 }
 
 void Pipeline::reset_quantum_counters() {
@@ -950,29 +1059,30 @@ Pipeline::ResourceAudit Pipeline::audit_resources() const {
     std::int32_t memcount = 0;
     std::int32_t l1d_out = 0;
     std::int32_t frontend = 0;
-    for (std::size_t i = 0; i < t.window.size(); ++i) {
-      const DynInstr& d = t.window[i];
-      if (d.seq != t.head_seq + i) a.seq_mismatch |= 1u << tid;
-      const bool mem = isa::is_mem(d.si.cls);
-      if (mem ? d.state != DynInstr::State::kDone
-              : (d.state == DynInstr::State::kFrontEnd ||
-                 d.state == DynInstr::State::kQueued)) {
+    for (std::uint64_t i = 0; i < win_size(t); ++i) {
+      const std::uint32_t slot = slot_of(t.head_seq + i);
+      if (t.seq[slot] != t.head_seq + i) a.seq_mismatch |= 1u << tid;
+      const isa::InstrClass cls = t.si[slot].cls;
+      const auto st = static_cast<InstrState>(t.state[slot]);
+      const bool mem = isa::is_mem(cls);
+      if (mem ? st != InstrState::kDone
+              : (st == InstrState::kFrontEnd || st == InstrState::kQueued)) {
         ++icount;
       }
-      if (d.state == DynInstr::State::kFrontEnd) ++frontend;
-      if (d.state != DynInstr::State::kDone) {
-        if (d.si.cls == isa::InstrClass::kBranch) ++brcount;
-        if (d.si.cls == isa::InstrClass::kLoad) {
+      if (st == InstrState::kFrontEnd) ++frontend;
+      if (st != InstrState::kDone) {
+        if (cls == isa::InstrClass::kBranch) ++brcount;
+        if (cls == isa::InstrClass::kLoad) {
           ++ldcount;
           ++memcount;
-        } else if (d.si.cls == isa::InstrClass::kStore) {
+        } else if (cls == isa::InstrClass::kStore) {
           ++memcount;
         }
       }
-      if (d.counted_l1d_outstanding) ++l1d_out;
-      if (d.has_lsq_entry) ++lsq;
-      if (d.has_rename_reg) {
-        if (isa::is_fp(d.si.cls)) ++fp_held; else ++int_held;
+      if (t.flags[slot] & kFlagL1dOutstanding) ++l1d_out;
+      if (t.flags[slot] & kFlagLsqEntry) ++lsq;
+      if (t.flags[slot] & kFlagRenameReg) {
+        if (isa::is_fp(cls)) ++fp_held; else ++int_held;
       }
     }
     const ThreadCounters& c = t.counters;
@@ -986,7 +1096,8 @@ Pipeline::ResourceAudit Pipeline::audit_resources() const {
   a.int_rename_mismatch = int_held + int_rename_free_ != cfg_.int_rename_regs;
   a.fp_rename_mismatch = fp_held + fp_rename_free_ != cfg_.fp_rename_regs;
   a.iq_overflow =
-      int_iq_.size() > cfg_.int_iq_size || fp_iq_.size() > cfg_.fp_iq_size;
+      popcount64(int_iq_.occ) > cfg_.int_iq_size ||
+      popcount64(fp_iq_.occ) > cfg_.fp_iq_size;
   a.ok = a.thread_mismatch == 0 && a.seq_mismatch == 0 && !a.lsq_mismatch &&
          !a.int_rename_mismatch && !a.fp_rename_mismatch && !a.iq_overflow;
   return a;

@@ -19,8 +19,19 @@
 // The object is value-semantic: copying a Pipeline snapshots the complete
 // microarchitectural + workload state, enabling exact quantum re-runs
 // (oracle scheduling).
+//
+// Data layout (DESIGN.md §17): the per-thread window is a structure of
+// arrays — parallel per-slot arrays indexed by `seq & slot_mask_` — not an
+// array of instruction objects. Dependency wakeup is a bit test against a
+// per-thread done bitmask (the dep1/dep2 distance encoding names the
+// producer slot directly), issue selection runs ctz-driven over per-queue
+// 64-bit ready masks, and the completion ring is a flat power-of-two ring
+// with fixed per-slot lanes. The golden stats digests (test_stats_identity)
+// pin this layout to the exact cycle behaviour of the original
+// object-per-instruction core.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -296,50 +307,60 @@ class Pipeline {
   }
   bool testing_corrupt_window_seq(std::uint32_t tid) {
     Thread& t = threads_[tid];
-    if (t.window.empty()) return false;
-    t.window.back().seq += 7;
+    if (t.next_seq == t.head_seq) return false;
+    t.seq[slot_of(t.next_seq - 1)] += 7;
     return true;
   }
 
  private:
-  // One in-flight instruction.
-  struct DynInstr {
-    isa::Instruction si;
-    std::uint64_t seq = 0;  ///< per-thread sequence (contiguous in window)
-    std::uint64_t uid = 0;  ///< globally unique (stale-ref detection)
-    std::uint64_t age = 0;  ///< global dispatch order (oldest-first issue)
-    enum class State : std::uint8_t { kFrontEnd, kQueued, kIssued, kDone };
-    State state = State::kFrontEnd;
-    bool wrong_path = false;
-    bool mispredicted = false;  ///< branch known (at fetch) to be mispredicted
-    bool predicted_taken = false;
-    bool has_rename_reg = false;
-    bool has_lsq_entry = false;
-    bool counted_l1d_outstanding = false;
-    std::uint64_t dispatch_ready = 0;  ///< cycle the front end releases it
-    std::uint64_t done_cycle = 0;      ///< completion time (valid once issued)
-    /// Pipeview record slot, -1 = untracked. May go stale on a copied
-    /// pipeline (the copy's sampler is empty); the stamp helpers detect
-    /// that and reset it, and set_pipeview scrubs all windows.
-    std::int32_t pview = -1;
+  /// Lifecycle of a window slot. kEmpty marks vacated slots (committed or
+  /// squashed) so stale completion-ring references can never resurrect a
+  /// ghost: a ring entry fires only on uid match AND state == kIssued.
+  enum class InstrState : std::uint8_t {
+    kEmpty = 0,
+    kFrontEnd,
+    kQueued,
+    kIssued,
+    kDone,
   };
 
-  struct InstrRef {
-    std::uint32_t tid = 0;
-    std::uint64_t seq = 0;
-    std::uint64_t uid = 0;
-    /// Dispatch age, cached so the issue stage's oldest-first merge
-    /// compares queue entries directly instead of chasing each ref into
-    /// its thread's window (valid for IQ entries; 0 elsewhere).
-    std::uint64_t age = 0;
-  };
+  // Per-slot boolean flags, packed (parallel `flags` array).
+  static constexpr std::uint8_t kFlagWrongPath = 1u << 0;
+  static constexpr std::uint8_t kFlagMispredicted = 1u << 1;
+  static constexpr std::uint8_t kFlagPredictedTaken = 1u << 2;
+  static constexpr std::uint8_t kFlagRenameReg = 1u << 3;
+  static constexpr std::uint8_t kFlagLsqEntry = 1u << 4;
+  static constexpr std::uint8_t kFlagL1dOutstanding = 1u << 5;
 
+  /// One hardware context. The in-flight window is a struct-of-arrays
+  /// ring: parallel arrays of `window_cap_` slots indexed by
+  /// `seq & slot_mask_`; slots with head_seq <= seq < next_seq are live.
+  /// `seq` is stored explicitly (it is derivable from the index) because
+  /// the structural audit checks program-order contiguity against it and
+  /// the corruption hooks need to be able to break it.
   struct Thread {
     workload::ThreadProgram program;
     ThreadCounters counters;
-    FixedQueue<DynInstr> window;    ///< in-order in-flight instructions
-    std::uint64_t head_seq = 0;     ///< seq of window[0]
-    std::uint64_t next_seq = 0;     ///< seq of the next fetched instruction
+
+    std::vector<isa::Instruction> si;  ///< decoded instruction per slot
+    std::vector<std::uint64_t> seq;
+    std::vector<std::uint64_t> uid;  ///< globally unique (stale-ref detection)
+    std::vector<std::uint64_t> age;  ///< global dispatch order
+    std::vector<std::uint64_t> dispatch_ready;  ///< front-end release cycle
+    std::vector<std::uint8_t> state;            ///< InstrState
+    std::vector<std::uint8_t> flags;            ///< kFlag* bits
+    /// Pipeview record slot, -1 = untracked. May go stale on a copied
+    /// pipeline (the copy's sampler is empty); the stamp helpers detect
+    /// that and reset it, and set_pipeview scrubs all windows.
+    std::vector<std::int32_t> pview;
+    /// Bit (seq & slot_mask_) set => that slot's instruction is kDone.
+    /// Dependency wakeup is a test against this mask: dep distances name
+    /// the producer slot directly, no object chasing. Bits are reset when
+    /// a slot is (re)claimed at fetch, so only live slots are meaningful.
+    std::vector<std::uint64_t> done_bits;
+
+    std::uint64_t head_seq = 0;  ///< seq of the oldest in-flight instruction
+    std::uint64_t next_seq = 0;  ///< seq of the next fetched instruction
     FixedQueue<isa::Instruction> replay;  ///< squashed correct-path instrs
     bool wrong_path_mode = false;
     std::uint64_t wrong_pc = 0;
@@ -357,7 +378,94 @@ class Pipeline {
     obs::StallBreakdown stalls;
     std::uint64_t quantum_epoch = 0;  ///< quantum-counter reset generation
     std::uint64_t life_epoch = 0;     ///< lifetime-counter reset generation
+    /// Per-window-slot waiter chains: head of the list of IQ entry ids
+    /// (int queue 0–63, fp queue 64–127, kNoWaiter = none) blocked on
+    /// this slot's instruction. do_complete pops the chain when the
+    /// producer's done bit is set. Links live in Pipeline::waiter_next_.
+    std::vector<std::uint8_t> waiter_head;
   };
+
+  /// Issue-queue entry. `age` drives the oldest-first merge; `is_mem`
+  /// and the producer seqs (`pr1`/`pr2`, -1 = no in-flight producer
+  /// possible) are cached at dispatch so readiness checks read only this
+  /// entry plus the owning thread's head_seq and done bitmask — no
+  /// instruction-array access. Entries are scrubbed at squash time, so
+  /// they are never stale.
+  struct IqRef {
+    std::uint64_t age = 0;
+    std::int64_t pr1 = -1;  ///< dep1 producer seq, -1 = architected
+    std::int64_t pr2 = -1;
+    std::uint32_t tid = 0;
+    std::uint32_t slot = 0;
+    bool is_mem = false;
+  };
+
+  /// Fixed-slot issue queue (<= 64 entries, enforced at construction).
+  /// Entries never move: occupancy, readiness and mem-op membership are
+  /// bitmasks over slot positions, so issue selection iterates only the
+  /// ready set and vacating a slot is two mask ANDs — there is no
+  /// per-cycle compaction or rescan.
+  struct IssueQueue {
+    std::array<IqRef, 64> slots{};
+    std::uint64_t occ = 0;    ///< slot holds a live kQueued entry
+    std::uint64_t ready = 0;  ///< subset of occ: all producers complete
+    std::uint64_t mem = 0;    ///< subset of occ: loads/stores (int queue)
+  };
+
+  /// Are both producers of IQ entry `r` architecturally complete?
+  /// Exactly the dep-distance rule: a producer seq below head_seq has
+  /// committed (architected value); otherwise its done bit decides.
+  [[nodiscard]] bool iq_ready(const IqRef& r) const {
+    const Thread& t = threads_[r.tid];
+    const auto head = static_cast<std::int64_t>(t.head_seq);
+    if (r.pr1 >= head &&
+        !done_bit(t, slot_of(static_cast<std::uint64_t>(r.pr1)))) {
+      return false;
+    }
+    if (r.pr2 >= head &&
+        !done_bit(t, slot_of(static_cast<std::uint64_t>(r.pr2)))) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Dispatch-FIFO entry (scrubbed at squash time like IQ refs).
+  struct FifoRef {
+    std::uint32_t tid = 0;
+    std::uint32_t slot = 0;
+  };
+
+  /// Completion-ring entry. uid (never reused) plus the kIssued state
+  /// requirement make stale entries — squashed instructions whose slot
+  /// was vacated or reclaimed — inert.
+  struct DoneRef {
+    std::uint64_t uid = 0;
+    std::uint32_t tid = 0;
+    std::uint32_t slot = 0;
+  };
+
+  [[nodiscard]] std::uint32_t slot_of(std::uint64_t seq) const noexcept {
+    return static_cast<std::uint32_t>(seq) & slot_mask_;
+  }
+  [[nodiscard]] std::uint64_t win_size(const Thread& t) const noexcept {
+    return t.next_seq - t.head_seq;
+  }
+  [[nodiscard]] bool win_empty(const Thread& t) const noexcept {
+    return t.next_seq == t.head_seq;
+  }
+  [[nodiscard]] bool win_full(const Thread& t) const noexcept {
+    return win_size(t) >= cfg_.rob_per_thread;
+  }
+  static void set_done_bit(Thread& t, std::uint32_t slot) noexcept {
+    t.done_bits[slot >> 6] |= 1ull << (slot & 63);
+  }
+  static void clear_done_bit(Thread& t, std::uint32_t slot) noexcept {
+    t.done_bits[slot >> 6] &= ~(1ull << (slot & 63));
+  }
+  [[nodiscard]] static bool done_bit(const Thread& t,
+                                     std::uint32_t slot) noexcept {
+    return (t.done_bits[slot >> 6] >> (slot & 63)) & 1u;
+  }
 
   // Stage implementations, called in reverse pipeline order each cycle.
   void do_commit();
@@ -366,10 +474,10 @@ class Pipeline {
   void do_dispatch();
   void do_fetch();
 
-  [[nodiscard]] DynInstr& instr_at(std::uint32_t tid, std::uint64_t seq);
-  [[nodiscard]] const DynInstr& instr_at(std::uint32_t tid,
-                                         std::uint64_t seq) const;
-  [[nodiscard]] bool deps_ready(const Thread& t, const DynInstr& d) const;
+  /// Classify IQ entry `id` (int queue 0–63, fp queue 64–127) whose ref
+  /// is `r`: set its ready bit, or enlist it on the waiter chain of its
+  /// first outstanding producer so do_complete wakes it later.
+  void place_entry(std::uint32_t id, const IqRef& r);
 
   /// Squash all instructions of `tid` with seq >= `first_seq`.
   /// When `replay_correct_path` is set, squashed correct-path instructions
@@ -384,14 +492,20 @@ class Pipeline {
   /// assumption: "all threads have to flush out of the pipeline").
   void syscall_flush(std::uint32_t syscall_tid);
 
-  void release_instr_resources(std::uint32_t tid, DynInstr& d,
+  void release_instr_resources(std::uint32_t tid, std::uint32_t slot,
                                bool completed_ok);
 
   [[nodiscard]] std::uint32_t load_latency(std::uint32_t tid, Thread& t,
-                                           const DynInstr& d);
+                                           std::uint32_t slot);
+
+  void completion_push(std::uint64_t done_cycle, const DoneRef& ref);
+  void completion_grow();
 
   PipelineConfig cfg_;
   policy::FetchPolicy policy_ = policy::FetchPolicy::kIcount;
+
+  std::uint32_t window_cap_ = 0;  ///< power of two >= cfg.rob_per_thread
+  std::uint32_t slot_mask_ = 0;   ///< window_cap_ - 1
 
   std::vector<Thread> threads_;
   mem::Hierarchy mem_;
@@ -404,16 +518,26 @@ class Pipeline {
   /// is what transmits fetch priority to the shared queues: a clogging
   /// thread's instructions at the FIFO head stall everyone behind them —
   /// unless the fetch policy stopped fetching that thread first.
-  FixedQueue<InstrRef> dispatch_fifo_;
-  std::vector<InstrRef> int_iq_;  ///< age-ordered (append at dispatch)
-  std::vector<InstrRef> fp_iq_;
+  FixedQueue<FifoRef> dispatch_fifo_;
+  /// Capacity <= 64 per queue (enforced at construction) so occupancy,
+  /// readiness and mem-op membership are single 64-bit masks.
+  IssueQueue int_iq_;
+  IssueQueue fp_iq_;
+  /// Waiter-chain links, indexed by IQ entry id (int 0–63, fp 64–127);
+  /// heads live in each thread's per-window-slot waiter_head array.
+  static constexpr std::uint8_t kNoWaiter = 0xFF;
+  std::array<std::uint8_t, 128> waiter_next_{};
   std::uint32_t int_rename_free_ = 0;
   std::uint32_t fp_rename_free_ = 0;
   std::uint32_t lsq_used_ = 0;  ///< shared load/store queue occupancy
 
-  // Completion ring: refs indexed by done_cycle % ring size.
+  /// Completion ring: flat power-of-two ring, `completion_lane_` entry
+  /// slots per cycle lane, indexed by done_cycle & (kCompletionRing-1).
+  /// Lane overflow doubles the lane width (rare; order-preserving).
   static constexpr std::uint32_t kCompletionRing = 256;
-  std::vector<std::vector<InstrRef>> completion_;
+  std::vector<DoneRef> completion_;          ///< kCompletionRing × lane
+  std::vector<std::uint32_t> completion_n_;  ///< per-lane fill count
+  std::uint32_t completion_lane_ = 0;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t next_uid_ = 1;
@@ -482,14 +606,15 @@ class Pipeline {
   /// test per cycle.
   void step_stages_profiled();
 
-  /// Open a lifecycle record for `d` if the active window wants one
-  /// (called at fetch; cheap `sink != nullptr` guard at the call site).
-  void pview_open(DynInstr& d, std::uint32_t tid);
-  /// Stamp `d`'s record at `stage` with the current cycle; recovers
-  /// (resets d.pview) when the index is stale from a pipeline copy.
-  void pview_stamp(DynInstr& d, obs::PipeStage stage);
-  /// Finish `d`'s record with terminal `t` and emit the kPipeview event.
-  void pview_close(DynInstr& d, obs::PipeTerminal t);
+  /// Open a lifecycle record for the instruction in `slot` if the active
+  /// window wants one (called at fetch; cheap `sink != nullptr` guard at
+  /// the call site).
+  void pview_open(std::uint32_t tid, std::uint32_t slot);
+  /// Stamp the record at `stage` with the current cycle; recovers
+  /// (resets the slot's pview index) when it is stale from a copy.
+  void pview_stamp(Thread& t, std::uint32_t slot, obs::PipeStage stage);
+  /// Finish the record with terminal `term` and emit the kPipeview event.
+  void pview_close(Thread& t, std::uint32_t slot, obs::PipeTerminal term);
 
   // --- reused scratch buffers (hot-path allocation avoidance) -----------
   // These hold no state between cycles — each user clears its buffer
@@ -502,11 +627,9 @@ class Pipeline {
     std::uint32_t tie;
   };
   std::vector<FetchCand> fetch_cands_;        ///< do_fetch candidate list
-  std::vector<std::size_t> int_issued_;       ///< do_issue INT compaction
-  std::vector<std::size_t> fp_issued_;        ///< do_issue FP compaction
   std::vector<isa::Instruction> squash_replay_;   ///< squash_from collect
   std::vector<isa::Instruction> squash_backlog_;  ///< replay-queue rebuild
-  std::vector<InstrRef> squash_keep_;         ///< dispatch-FIFO rebuild
+  std::vector<FifoRef> squash_keep_;          ///< dispatch-FIFO rebuild
 };
 
 /// Export the pipeline's whole-run statistics and per-thread stall

@@ -1,156 +1,50 @@
 #include "workload/thread_program.hpp"
 
-#include <algorithm>
-
 #include "isa/instruction.hpp"
 
 namespace smt::workload {
-
-namespace {
-
-// Stream-path tags for make_stream(); never reorder (determinism contract).
-enum StreamTag : std::uint64_t {
-  kTagClass = 1,
-  kTagDep = 2,
-  kTagBranch = 3,
-  kTagWrong = 4,
-  kTagAddr = 5,
-  kTagSites = 6,
-};
-
-/// Per-thread segment spacing: large enough that no profile's working set
-/// or code footprint overlaps a neighbour's. The strides carry a salt
-/// that is NOT a multiple of any cache's set span (L1: 8 KiB, L2:
-/// 128 KiB), so different threads' segments land in different sets — as
-/// the OS page allocator ensures for real processes. Power-of-two-aligned
-/// segments would put every thread's hot lines in the same sets and
-/// thrash them in lockstep.
-constexpr std::uint64_t kDataSegmentStride = (1ULL << 32) + 101 * 1024 + 256;
-constexpr std::uint64_t kCodeSegmentStride = (1ULL << 28) + 37 * 1024 + 96;
-constexpr std::uint64_t kCodeRegionBase = 1ULL << 60;
-
-}  // namespace
 
 ThreadProgram::ThreadProgram(const AppProfile& profile,
                              std::uint32_t thread_id, std::uint64_t seed)
     : profile_(profile),
       code_base_(kCodeRegionBase + thread_id * kCodeSegmentStride),
       pc_(code_base_),
-      addr_gen_(profile, (thread_id + 1) * kDataSegmentStride,
-                make_stream(seed, {kTagAddr, thread_id})),
-      branches_(profile, code_base_, make_stream(seed, {kTagSites, thread_id})),
-      class_rng_(make_stream(seed, {kTagClass, thread_id})),
-      dep_rng_(make_stream(seed, {kTagDep, thread_id})),
-      branch_rng_(make_stream(seed, {kTagBranch, thread_id})),
+      stream_(StreamCache::local().entry(profile, thread_id, seed)),
+      wrong_addr_(profile, (thread_id + 1) * kDataSegmentStride,
+                  make_stream(seed, {kTagAddr, thread_id})),
+      branches_(stream_->branches()),
       wrong_rng_(make_stream(seed, {kTagWrong, thread_id})),
-      branch_pc_salt_(mix64(seed ^ (thread_id * 0xabcd1234ULL + 7))) {
-  enter_phase(0);
-}
-
-bool ThreadProgram::is_branch_pc(std::uint64_t pc) const noexcept {
-  const std::uint64_t h = mix64(pc ^ branch_pc_salt_) & 0xFFFFFF;
-  return static_cast<double>(h) < branch_frac_ * double(0x1000000);
-}
-
-void ThreadProgram::enter_phase(std::size_t idx) {
-  phase_idx_ = idx;
-  const PhaseKind kind = current_phase();
-  const double s = profile_.phase_swing;
-
-  InstrMix m = profile_.mix;
-  hot_bias_ = 0.0;
-  flatten_ = 0.0;
-  switch (kind) {
-    case PhaseKind::kBase:
-      break;
-    case PhaseKind::kMemory:
-      m.load *= 1.0 + 1.2 * s;
-      m.store *= 1.0 + 0.6 * s;
-      hot_bias_ = -0.55 * s;
-      break;
-    case PhaseKind::kBranchy:
-      m.branch *= 1.0 + 1.2 * s;
-      flatten_ = 0.7 * s;
-      break;
-    case PhaseKind::kCompute:
-      m.int_alu *= 1.0 + s;
-      m.fp_add *= 1.0 + s;
-      m.fp_mul *= 1.0 + s;
-      hot_bias_ = 0.2 * s;
-      break;
-  }
-
-  // Branches are placed by PC (is_branch_pc); the stochastic draw covers
-  // only the other classes.
-  branch_frac_ = m.branch / m.total();
-  double acc = 0.0;
-  for (int c = 0; c < isa::kNumInstrClasses; ++c) {
-    const auto cls = static_cast<isa::InstrClass>(c);
-    if (cls != isa::InstrClass::kBranch) {
-      acc += m.weight(cls);
-    }
-    cum_weights_[static_cast<std::size_t>(c)] = acc;
-  }
-  total_weight_ = acc;
-}
-
-isa::InstrClass ThreadProgram::draw_class(Rng& rng) const {
-  const double u = rng.uniform() * total_weight_;
-  for (int c = 0; c < isa::kNumInstrClasses; ++c) {
-    if (u < cum_weights_[static_cast<std::size_t>(c)]) {
-      return static_cast<isa::InstrClass>(c);
-    }
-  }
-  return isa::InstrClass::kIntAlu;
-}
-
-void ThreadProgram::fill_common(isa::Instruction& in, Rng& dep_rng,
-                                bool wrong) {
-  // Register dependencies as reuse distances. A distance is capped at 48
-  // (beyond the issue window it is indistinguishable from "ready").
-  if (dep_rng.chance(0.85)) {
-    in.dep1 = static_cast<std::uint16_t>(
-        std::min<std::uint64_t>(dep_rng.geometric(profile_.mean_dep_distance), 48));
-  }
-  if (dep_rng.chance(profile_.dep2_prob)) {
-    in.dep2 = static_cast<std::uint16_t>(
-        std::min<std::uint64_t>(dep_rng.geometric(profile_.mean_dep_distance), 48));
-  }
-  if (wrong) {
-    // Wrong-path "dependencies" only matter for issue-timing realism.
-    return;
-  }
-}
+      ph_(phase_state(profile, profile.phases.empty() ? PhaseKind::kBase
+                                                      : profile.phases[0])),
+      branch_pc_salt_(branch_pc_salt(seed, thread_id)) {}
 
 isa::Instruction ThreadProgram::next() {
-  // Phase rotation on correct-path instruction count.
+  // Phase rotation on correct-path instruction count (mirrors the
+  // memoised generator so wrong-path draws see the right distribution).
   if (!profile_.phases.empty() && profile_.phase_len_instrs > 0) {
     const std::size_t idx = static_cast<std::size_t>(
         (count_ / profile_.phase_len_instrs) % profile_.phases.size());
-    if (idx != phase_idx_) enter_phase(idx);
+    if (idx != phase_idx_) {
+      phase_idx_ = idx;
+      ph_ = phase_state(profile_, profile_.phases[idx]);
+    }
   }
 
-  isa::Instruction in;
-  in.pc = pc_;
-  in.cls = is_branch_pc(pc_) ? isa::InstrClass::kBranch
-                             : draw_class(class_rng_);
-  fill_common(in, dep_rng_, /*wrong=*/false);
-
-  if (isa::is_mem(in.cls)) {
-    in.mem_addr = addr_gen_.next(hot_bias_);
+  if (!chunk_ || count_ - chunk_base_ >= kStreamChunkInstrs) {
+    chunk_ = stream_->chunk_for(count_);
+    chunk_base_ = count_ & ~(kStreamChunkInstrs - 1);
+    StreamCache::local().pool().touch(chunk_);
   }
+  const isa::Instruction in = chunk_->instrs[count_ - chunk_base_];
 
-  std::uint64_t next_pc = pc_ + isa::kInstrBytes;
-  // Wrap within the code segment so the I-cache footprint equals the
-  // profile's code size.
+  // Advance the PC cursor exactly as the generator did when it recorded
+  // this instruction: sequential with code-segment wrap, overridden by a
+  // taken branch's target.
+  std::uint64_t next_pc = in.pc + isa::kInstrBytes;
   if (next_pc >= code_base_ + profile_.code_bytes) next_pc = code_base_;
-
-  if (in.cls == isa::InstrClass::kBranch) {
-    in.taken = branches_.outcome(pc_, branch_rng_, flatten_);
-    in.branch_target = branches_.site_for(pc_).target;
-    if (in.taken) next_pc = in.branch_target;
+  if (in.cls == isa::InstrClass::kBranch && in.taken) {
+    next_pc = in.branch_target;
   }
-
   pc_ = next_pc;
   ++count_;
   return in;
@@ -159,13 +53,15 @@ isa::Instruction ThreadProgram::next() {
 isa::Instruction ThreadProgram::next_wrong(std::uint64_t& wrong_pc) {
   isa::Instruction in;
   in.pc = wrong_pc;
-  in.cls = is_branch_pc(wrong_pc) ? isa::InstrClass::kBranch
-                                  : draw_class(wrong_rng_);
+  in.cls = is_branch_pc(wrong_pc, branch_pc_salt_, ph_.branch_frac)
+               ? isa::InstrClass::kBranch
+               : draw_class(wrong_rng_, ph_);
   if (in.cls == isa::InstrClass::kSyscall) in.cls = isa::InstrClass::kIntAlu;
-  fill_common(in, wrong_rng_, /*wrong=*/true);
+  // Wrong-path "dependencies" only matter for issue-timing realism.
+  fill_deps(in, wrong_rng_, profile_);
 
   if (isa::is_mem(in.cls)) {
-    in.mem_addr = addr_gen_.wrong_path(wrong_rng_);
+    in.mem_addr = wrong_addr_.wrong_path(wrong_rng_);
   }
 
   std::uint64_t next_pc = wrong_pc + isa::kInstrBytes;
@@ -174,7 +70,7 @@ isa::Instruction ThreadProgram::next_wrong(std::uint64_t& wrong_pc) {
     // Wrong-path branches never redirect fetch again (no nested recovery);
     // they just look like branches to the occupancy counters.
     in.taken = wrong_rng_.chance(0.5);
-    in.branch_target = branches_.site_for(wrong_pc).target;
+    in.branch_target = branches_->site_for(wrong_pc).target;
     if (in.taken) next_pc = in.branch_target;
   }
   wrong_pc = next_pc;

@@ -13,16 +13,27 @@
 // class mix, data locality and branch predictability. Phases are the
 // time-varying behaviour that gives the paper's quantum-granularity
 // adaptive scheduler something to adapt to.
+//
+// The correct-path stream itself is memoised: because it is a pure
+// function of (profile, thread id, seed), this class is a cursor over a
+// shared decoded stream (workload/stream_cache.hpp) rather than a live
+// generator — next() is an array read plus a PC update, and repeated
+// runs over the same key (oracle replays, warmup+measured samples,
+// repeat fleet jobs) skip synthesis entirely. Wrong-path synthesis stays
+// live here: which PCs are fetched down the wrong path depends on
+// simulator timing, so it is not memoisable — but it only ever consumes
+// its own RNG, preserving the isolation property above.
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "isa/instruction.hpp"
 #include "workload/address_gen.hpp"
 #include "workload/app_profile.hpp"
 #include "workload/branch_site.hpp"
+#include "workload/stream_cache.hpp"
 
 namespace smt::workload {
 
@@ -59,36 +70,24 @@ class ThreadProgram {
   [[nodiscard]] std::uint64_t code_base() const noexcept { return code_base_; }
 
  private:
-  void enter_phase(std::size_t idx);
-  [[nodiscard]] isa::InstrClass draw_class(Rng& rng) const;
-  void fill_common(isa::Instruction& in, Rng& class_rng, bool wrong);
-
-  /// Branch placement is a deterministic function of the PC, as in real
-  /// code: the predictor sees a stable set of static branch sites it can
-  /// actually learn. The stochastic class mix only covers the non-branch
-  /// classes.
-  [[nodiscard]] bool is_branch_pc(std::uint64_t pc) const noexcept;
-
   AppProfile profile_{};
   std::uint64_t code_base_ = 0;
   std::uint64_t pc_ = 0;
-  std::uint64_t count_ = 0;
+  std::uint64_t count_ = 0;  ///< cursor into the memoised stream
 
-  AddressGen addr_gen_{};
-  BranchSiteModel branches_{};
+  std::shared_ptr<StreamEntry> stream_{};
+  std::shared_ptr<const StreamChunk> chunk_{};  ///< chunk holding `count_`
+  std::uint64_t chunk_base_ = 0;  ///< stream index of chunk_->instrs[0]
 
-  Rng class_rng_{};
-  Rng dep_rng_{};
-  Rng branch_rng_{};
+  // Wrong-path synthesis state (live; timing-dependent). The phase mirror
+  // tracks the phase of the last consumed correct-path instruction so
+  // wrong-path class draws see the same distribution the old inline
+  // generator used.
+  AddressGen wrong_addr_{};  ///< wrong_path() only (construction constants)
+  std::shared_ptr<const BranchSiteModel> branches_{};
   Rng wrong_rng_{};
-
-  // Phase state (recomputed on phase entry).
   std::size_t phase_idx_ = 0;
-  std::array<double, isa::kNumInstrClasses> cum_weights_{};  ///< non-branch
-  double total_weight_ = 1.0;
-  double branch_frac_ = 0.15;  ///< dynamic branch fraction (PC-determined)
-  double hot_bias_ = 0.0;
-  double flatten_ = 0.0;
+  StreamPhase ph_{};
   std::uint64_t branch_pc_salt_ = 0;
 };
 

@@ -315,6 +315,53 @@ TEST(LintRules, HotPathAllocAllowsConstructorAllocation) {
   EXPECT_EQ(count_of(r, "hot-path-alloc"), 0);
 }
 
+TEST(LintRules, HotPathAllocFiresOnEraseInsertInStepPath) {
+  const LintResult r = lint(
+      {{"src/pipeline/x.cpp",
+        "namespace smt::pipeline {\n"
+        "void Pipe::do_issue() { q_.erase(q_.begin()); }\n"
+        "void Pipe::step() { lsq_->insert(lsq_->begin(), v); }\n"
+        "}  // namespace smt::pipeline\n"}});
+  ASSERT_EQ(count_of(r, "hot-path-alloc"), 2);
+  EXPECT_EQ(r.findings[0].line, 2);
+  EXPECT_NE(r.findings[0].message.find("erase"), std::string::npos);
+  EXPECT_EQ(r.findings[1].line, 3);
+}
+
+TEST(LintRules, HotPathAllocAllowsEraseOutsideStepPathAndBareWords) {
+  const LintResult r = lint(
+      {{"src/sim/x.cpp",
+        "namespace smt::sim {\n"
+        // Cold path: erase in a setup/reporting function is fine.
+        "void Simulator::reset() { jobs_.erase(jobs_.begin()); }\n"
+        // Bare identifier named `insert` is not a member call.
+        "void Simulator::step() { int insert = 0; use(insert); }\n"
+        "}  // namespace smt::sim\n"}});
+  EXPECT_EQ(count_of(r, "hot-path-alloc"), 0);
+}
+
+TEST(LintRules, HotPathAllocFiresOnNestedVectorAnywhere) {
+  const LintResult r = lint(
+      {{"src/pipeline/x.hpp",
+        "#pragma once\n#include <vector>\n"
+        "namespace smt::pipeline {\n"
+        "struct Ring { std::vector<std::vector<int>> lanes; };\n"
+        "}  // namespace smt::pipeline\n"}});
+  ASSERT_EQ(count_of(r, "hot-path-alloc"), 1);
+  EXPECT_EQ(r.findings[0].line, 4);
+  EXPECT_NE(r.findings[0].message.find("flat"), std::string::npos);
+}
+
+TEST(LintRules, HotPathAllocAllowsFlatVectorMembers) {
+  const LintResult r = lint(
+      {{"src/pipeline/x.hpp",
+        "#pragma once\n#include <vector>\n"
+        "namespace smt::pipeline {\n"
+        "struct Ring { std::vector<int> flat; std::vector<Ref> q; };\n"
+        "}  // namespace smt::pipeline\n"}});
+  EXPECT_EQ(count_of(r, "hot-path-alloc"), 0);
+}
+
 TEST(LintRules, SchemaSyncFiresOnAssertedButNeverEmittedKind) {
   const LintResult r = lint(
       {{"src/obs/trace_event.hpp",
