@@ -17,10 +17,15 @@
 // The parallel/serial comparisons are the determinism contract's teeth:
 // any mismatch prints the offending block and the process exits 1.
 //
-// Usage: bench_sim_throughput [--json]
+// Usage: bench_sim_throughput [--json] [--single-only]
 //   --json            machine-readable document on stdout (consumed by
 //                     scripts/run_perf_suite.sh -> BENCH_perf.json)
-//   SMT_BENCH_SCALE   quick | default | full (run length)
+//   --single-only     only the single-run measurement (1.), skipping the
+//                     per-mix table, memo-cache and parallel passes — the
+//                     fast path scripts/check_perf_floor.sh gates on
+//   SMT_BENCH_SCALE   quick | default | full (run length; recorded in the
+//                     JSON as bench_scale so baselines are compared at
+//                     the scale that produced them)
 //   SMT_JOBS          workers for the parallel passes (default: host cores)
 #include <algorithm>
 #include <array>
@@ -56,10 +61,20 @@ std::size_t bench_jobs() {
   return hw > 1 ? hw : 1;
 }
 
-/// Simulated cycles for the single-run measurement, per scale.
-std::uint64_t single_run_cycles() {
+/// Resolved SMT_BENCH_SCALE name. Unknown values fall back to "default"
+/// here AND in single_run_cycles, so the recorded scale always names the
+/// run lengths actually used (scripts/check_perf_floor.sh replays the
+/// committed baseline's scale to keep its comparison apples-to-apples).
+std::string_view bench_scale() {
   const char* env = std::getenv("SMT_BENCH_SCALE");
   const std::string_view mode = env ? env : "default";
+  if (mode == "quick" || mode == "full") return mode;
+  return "default";
+}
+
+/// Simulated cycles for the single-run measurement, per scale.
+std::uint64_t single_run_cycles() {
+  const std::string_view mode = bench_scale();
   if (mode == "quick") return 512 * 1024;
   if (mode == "full") return 4 * 1024 * 1024;
   return 2 * 1024 * 1024;
@@ -92,7 +107,19 @@ bool oracles_equal(const smt::sim::OracleResult& a,
 
 int main(int argc, char** argv) {
   using namespace smt;
-  const bool json = argc > 1 && std::string_view(argv[1]) == "--json";
+  bool json = false;
+  bool single_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--single-only") {
+      single_only = true;
+    } else {
+      std::cerr << "bench_sim_throughput: unknown option " << arg << "\n";
+      return 2;
+    }
+  }
   const std::size_t jobs = bench_jobs();
 
   sim::ExperimentScale serial = sim::ExperimentScale::from_env();
@@ -148,6 +175,7 @@ int main(int argc, char** argv) {
   };
   const std::uint64_t mix_cycles = cycles / 8;
   std::vector<MixMips> mix_table;
+  if (!single_only)
   for (const auto& m : workload::all_mixes()) {
     sim::SimConfig mc = sim::make_config(m, 8, serial.base_seed);
     sim::Simulator ms(mc);
@@ -170,48 +198,62 @@ int main(int argc, char** argv) {
   const std::uint64_t memo_seed = serial.base_seed + 7777;
   double memo_cold_s = 0.0;
   double memo_warm_s = 0.0;
-  {
-    sim::SimConfig mc = sim::make_config(workload::mix("bal1"), 8, memo_seed);
-    const Clock::time_point t0 = Clock::now();
-    sim::Simulator ms(mc);
-    ms.run(memo_cycles);
-    memo_cold_s = seconds_since(t0);
-  }
-  {
-    sim::SimConfig mc = sim::make_config(workload::mix("bal1"), 8, memo_seed);
-    const Clock::time_point t0 = Clock::now();
-    sim::Simulator ms(mc);
-    ms.run(memo_cycles);
-    memo_warm_s = seconds_since(t0);
+  if (!single_only) {
+    {
+      sim::SimConfig mc =
+          sim::make_config(workload::mix("bal1"), 8, memo_seed);
+      const Clock::time_point t0 = Clock::now();
+      sim::Simulator ms(mc);
+      ms.run(memo_cycles);
+      memo_cold_s = seconds_since(t0);
+    }
+    {
+      sim::SimConfig mc =
+          sim::make_config(workload::mix("bal1"), 8, memo_seed);
+      const Clock::time_point t0 = Clock::now();
+      sim::Simulator ms(mc);
+      ms.run(memo_cycles);
+      memo_warm_s = seconds_since(t0);
+    }
   }
   const workload::StreamCache::Stats cache_stats =
       workload::StreamCache::local().stats();
 
   // --- 2. Fig. 7/8 sweep, serial vs parallel ------------------------------
-  const Clock::time_point t_sweep1 = Clock::now();
-  const sim::SweepGrid grid1 = sim::run_fig78_sweep(serial);
-  const double sweep_serial_s = seconds_since(t_sweep1);
+  double sweep_serial_s = 0.0;
+  double sweep_par_s = 0.0;
+  bool sweep_ok = true;
+  if (!single_only) {
+    const Clock::time_point t_sweep1 = Clock::now();
+    const sim::SweepGrid grid1 = sim::run_fig78_sweep(serial);
+    sweep_serial_s = seconds_since(t_sweep1);
 
-  const Clock::time_point t_sweepn = Clock::now();
-  const sim::SweepGrid gridn = sim::run_fig78_sweep(parallel);
-  const double sweep_par_s = seconds_since(t_sweepn);
-  const bool sweep_ok = grids_equal(grid1, gridn);
+    const Clock::time_point t_sweepn = Clock::now();
+    const sim::SweepGrid gridn = sim::run_fig78_sweep(parallel);
+    sweep_par_s = seconds_since(t_sweepn);
+    sweep_ok = grids_equal(grid1, gridn);
+  }
 
   // --- 3. oracle, jobs=1 vs jobs=N ----------------------------------------
-  sim::OracleConfig ocfg;
-  sim::Simulator base(cfg);
-  base.run(serial.plan.warmup_cycles);
+  double oracle_serial_s = 0.0;
+  double oracle_par_s = 0.0;
+  bool oracle_ok = true;
+  if (!single_only) {
+    sim::OracleConfig ocfg;
+    sim::Simulator base(cfg);
+    base.run(serial.plan.warmup_cycles);
 
-  const Clock::time_point t_oracle1 = Clock::now();
-  const sim::OracleResult r1 =
-      sim::run_oracle(base, serial.oracle_quanta, ocfg, 1);
-  const double oracle_serial_s = seconds_since(t_oracle1);
+    const Clock::time_point t_oracle1 = Clock::now();
+    const sim::OracleResult r1 =
+        sim::run_oracle(base, serial.oracle_quanta, ocfg, 1);
+    oracle_serial_s = seconds_since(t_oracle1);
 
-  const Clock::time_point t_oraclen = Clock::now();
-  const sim::OracleResult rn =
-      sim::run_oracle(base, serial.oracle_quanta, ocfg, jobs);
-  const double oracle_par_s = seconds_since(t_oraclen);
-  const bool oracle_ok = oracles_equal(r1, rn);
+    const Clock::time_point t_oraclen = Clock::now();
+    const sim::OracleResult rn =
+        sim::run_oracle(base, serial.oracle_quanta, ocfg, jobs);
+    oracle_par_s = seconds_since(t_oraclen);
+    oracle_ok = oracles_equal(r1, rn);
+  }
 
   const unsigned host_cores = std::thread::hardware_concurrency();
   // On a single-core host the parallel passes still verify the
@@ -229,13 +271,18 @@ int main(int argc, char** argv) {
               << "\"jobs\": " << jobs << ",\n"
               << "\"degenerate_parallel\": " << (degenerate ? "true" : "false")
               << ",\n"
+              << "\"bench_scale\": \"" << bench_scale() << "\",\n"
               << "\"single_run\": {\"mix\": \"" << mix_name
               << "\", \"cycles\": " << cycles
               << ", \"samples\": " << kSamples
               << ", \"seconds\": " << single_s
               << ", \"host_kcycles_per_sec\": " << kcps
-              << ", \"sim_mips\": " << sim_mips << "},\n"
-              << "\"mix_mips\": [";
+              << ", \"sim_mips\": " << sim_mips << "}";
+    if (single_only) {
+      std::cout << "\n}\n";
+      return 0;
+    }
+    std::cout << ",\n\"mix_mips\": [";
     for (std::size_t i = 0; i < mix_table.size(); ++i) {
       const MixMips& mm = mix_table[i];
       std::cout << (i ? ",\n  " : "\n  ") << "{\"mix\": \"" << mm.name
@@ -277,8 +324,10 @@ int main(int argc, char** argv) {
               << "\n\n"
               << "single run (" << mix_name << ", " << cycles
               << " cycles, serial, median of " << kSamples
+              << ", scale " << bench_scale()
               << "): " << Table::num(kcps, 0) << " kcycles/s, "
               << Table::num(sim_mips, 2) << " sim-MIPS\n\n";
+    if (single_only) return 0;
     Table t({"mix", "sim-MIPS", "kcycles/s"});
     for (const MixMips& mm : mix_table) {
       t.add_row({mm.name, Table::num(mm.mips, 2), Table::num(mm.kcps, 0)});

@@ -4,7 +4,10 @@
 # SMT_PERF_FLOOR (default 0.7) of its single-run sim_mips. The generous
 # factor tolerates host-to-host variance while still catching
 # order-of-magnitude regressions: accidental debug/sanitizer builds,
-# hot-path slips, quadratic per-cycle scans.
+# hot-path slips, quadratic per-cycle scans. The measurement replays
+# the committed baseline's recorded bench_scale and passes if any of
+# three attempts clears the floor (shared hosts swing ~2x between
+# windows; real regressions fail every attempt).
 #
 # The single-run number is host-dependent, so the gate is meaningful on
 # hosts comparable to the one that produced the committed baseline
@@ -35,11 +38,26 @@ fi
 # stale binary.
 cmake --build "$build" --target bench_sim_throughput >/dev/null
 
+# Re-measure at the scale that produced the committed baseline (recorded
+# as bench_scale; baselines from before that field default to "default"),
+# so the comparison is apples-to-apples. --single-only skips the per-mix
+# table and the parallel passes: the gate only reads single_run.
+scale="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1])).get("bench_scale", "default"))' "$baseline")"
+
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-SMT_BENCH_SCALE=quick SMT_JOBS=1 "$bench" --json > "$tmp/perf.json"
 
-python3 - "$baseline" "$tmp/perf.json" "$floor" <<'EOF'
+# Shared CI hosts show ~2x wall-clock swings between windows (neighbour
+# load, burst throttling), which a single sample would misreport as a
+# regression. The gate hunts order-of-magnitude slips — debug builds,
+# quadratic scans — and those fail every attempt, so passing if ANY of
+# three attempts clears the floor keeps the gate's teeth without the
+# host-noise flakes.
+attempts=3
+for i in $(seq 1 "$attempts"); do
+  SMT_BENCH_SCALE="$scale" SMT_JOBS=1 "$bench" --json --single-only \
+    > "$tmp/perf.json"
+  if python3 - "$baseline" "$tmp/perf.json" "$floor" <<'EOF'
 import json
 import sys
 
@@ -51,15 +69,32 @@ floor = float(sys.argv[3])
 need = base * floor
 ok = cur >= need
 print(f"check_perf_floor: current {cur:.2f} sim-MIPS vs baseline "
-      f"{base:.2f} (floor {floor:.2f}x -> {need:.2f}): "
-      f"{'ok' if ok else 'FAIL'}")
-if not ok:
-    print(f"  baseline host: {base_doc.get('host_cpu', '?')} "
-          f"({base_doc.get('host_cores', '?')} cores)", file=sys.stderr)
-    print(f"  current host:  {cur_doc.get('host_cpu', '?')} "
-          f"({cur_doc.get('host_cores', '?')} cores)", file=sys.stderr)
-    print("  if the hosts are not comparable, rerun with a lower "
-          "SMT_PERF_FLOOR; otherwise a change regressed the hot path",
-          file=sys.stderr)
+      f"{base:.2f} at scale {base_doc.get('bench_scale', 'default')} "
+      f"(floor {floor:.2f}x -> {need:.2f}): "
+      f"{'ok' if ok else 'below floor'}")
 sys.exit(0 if ok else 1)
 EOF
+  then
+    exit 0
+  fi
+  if [ "$i" -lt "$attempts" ]; then
+    echo "check_perf_floor: attempt $i/$attempts below floor; retrying" \
+      "(host-noise tolerance)"
+  fi
+done
+
+echo "check_perf_floor: FAIL — all $attempts attempts below the floor" >&2
+python3 - "$baseline" "$tmp/perf.json" <<'EOF' >&2
+import json
+import sys
+
+base_doc = json.load(open(sys.argv[1]))
+cur_doc = json.load(open(sys.argv[2]))
+print(f"  baseline host: {base_doc.get('host_cpu', '?')} "
+      f"({base_doc.get('host_cores', '?')} cores)")
+print(f"  current host:  {cur_doc.get('host_cpu', '?')} "
+      f"({cur_doc.get('host_cores', '?')} cores)")
+print("  if the hosts are not comparable, rerun with a lower "
+      "SMT_PERF_FLOOR; otherwise a change regressed the hot path")
+EOF
+exit 1

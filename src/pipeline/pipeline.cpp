@@ -195,8 +195,12 @@ void Pipeline::completion_grow() {
 void Pipeline::do_commit() {
   std::uint32_t budget = cfg_.commit_width;
   const std::uint32_t n = num_threads();
-  for (std::uint32_t i = 0; i < n && budget > 0; ++i) {
-    const std::uint32_t tid = static_cast<std::uint32_t>((cycle_ + i) % n);
+  // One division per cycle for the rotating start; the loop then wraps by
+  // compare (runtime-n modulo is a hardware divide, and this loop runs n
+  // times every cycle).
+  std::uint32_t tid = static_cast<std::uint32_t>(cycle_ % n);
+  for (std::uint32_t i = 0; i < n && budget > 0;
+       ++i, tid = (tid + 1 == n ? 0 : tid + 1)) {
     Thread& t = threads_[tid];
     while (budget > 0 && !win_empty(t)) {
       const std::uint32_t slot = slot_of(t.head_seq);
@@ -506,6 +510,9 @@ void Pipeline::do_dispatch() {
 // ---------------------------------------------------------------------------
 void Pipeline::do_fetch() {
   const std::uint32_t n = num_threads();
+  // Rotating offset for every fair-share tie-break this cycle, computed
+  // with the stage's single runtime-n division.
+  const std::uint32_t rot = static_cast<std::uint32_t>(cycle_ % n);
 
   // Clear expired I-cache stalls.
   for (Thread& t : threads_) {
@@ -551,8 +558,8 @@ void Pipeline::do_fetch() {
     }
     const double key =
         policy::priority_key(policy_, t.counters, tid, n, cycle_);
-    cands.push_back(
-        FetchCand{tid, key, static_cast<std::uint32_t>((tid + cycle_) % n)});
+    const std::uint32_t tie = tid + rot;
+    cands.push_back(FetchCand{tid, key, tie >= n ? tie - n : tie});
   }
   // Insertion sort: (key, tie) is a unique total order over at most 64
   // candidates (usually <= 8), so this is both cheap and identical in
@@ -719,8 +726,9 @@ void Pipeline::do_fetch() {
     // with the cycle so no thread is systematically favoured.
     std::array<std::uint32_t, 64> blocked_tids;
     std::uint32_t m = 0;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const std::uint32_t tid = static_cast<std::uint32_t>((cycle_ + i) % n);
+    std::uint32_t tid = rot;
+    for (std::uint32_t i = 0; i < n;
+         ++i, tid = (tid + 1 == n ? 0 : tid + 1)) {
       if (block_cause[tid] != 0) blocked_tids[m++] = tid;
     }
     if (m == 0) {
@@ -728,10 +736,12 @@ void Pipeline::do_fetch() {
       // left slack no thread could claim this cycle.
       machine_stalls_.charge(obs::StallCause::kFragmentation, lost);
     } else {
-      for (std::uint64_t k = 0; k < lost; ++k) {
-        const std::uint32_t tid = blocked_tids[k % m];
-        threads_[tid].stalls.charge(
-            static_cast<obs::StallCause>(block_cause[tid] - 1));
+      std::uint32_t at = 0;
+      for (std::uint64_t k = 0; k < lost;
+           ++k, at = (at + 1 == m ? 0 : at + 1)) {
+        const std::uint32_t btid = blocked_tids[at];
+        threads_[btid].stalls.charge(
+            static_cast<obs::StallCause>(block_cause[btid] - 1));
       }
     }
   }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
-#include "common/build_info.hpp"
+#include "common/build_info.hpp"  // Fnv1a
 #include "isa/instruction.hpp"
 
 namespace smt::workload {
@@ -75,16 +75,19 @@ StreamGen::StreamGen(const AppProfile* profile, std::uint32_t thread_id,
       ph_(phase_state(*profile, profile->phases.empty()
                                     ? PhaseKind::kBase
                                     : profile->phases[0])),
+      phase_rotate_at_(profile->phase_len_instrs),
       branch_pc_salt_(branch_pc_salt(seed, thread_id)) {}
 
 isa::Instruction StreamGen::next() {
-  // Phase rotation on correct-path instruction count.
+  // Phase rotation on correct-path instruction count. count_ advances by
+  // exactly one per call, so a boundary countdown replaces the per-
+  // instruction divide the original `(count_ / len) % phases` computed.
   if (!profile_->phases.empty() && profile_->phase_len_instrs > 0) {
-    const std::size_t idx = static_cast<std::size_t>(
-        (count_ / profile_->phase_len_instrs) % profile_->phases.size());
-    if (idx != phase_idx_) {
-      phase_idx_ = idx;
-      ph_ = phase_state(*profile_, profile_->phases[idx]);
+    if (count_ >= phase_rotate_at_) {
+      phase_idx_ = phase_idx_ + 1 == profile_->phases.size() ? 0
+                                                             : phase_idx_ + 1;
+      ph_ = phase_state(*profile_, profile_->phases[phase_idx_]);
+      phase_rotate_at_ += profile_->phase_len_instrs;
     }
   }
 
@@ -204,6 +207,7 @@ std::uint64_t retention_budget_bytes() {
 
 std::uint64_t profile_stream_digest(const AppProfile& p) {
   Fnv1a h;
+  h.mix(kStreamGenVersion);
   h.mix(p.mix);
   h.mix(p.mean_dep_distance);
   h.mix(p.dep2_prob);

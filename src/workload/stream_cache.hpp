@@ -17,13 +17,21 @@
 //     constructions over one (mix, seed) re-read the same streams;
 //   - repeated in-process fleet/sweep jobs sharing (profile, tid, seed).
 //
-// Concurrency model: the cache is THREAD-LOCAL (StreamCache::local()).
-// Parallel sweeps run whole Simulators on pool threads; giving each
-// thread its own cache keeps the library free of locks and atomics (the
-// thread-primitive lint rule stays one-module-long) and makes data races
-// structurally impossible. Sharing is therefore per-thread, which is
-// where the repeat-run wins live anyway: a job runs start-to-finish on
-// one thread, and oracle replays happen inline.
+// Concurrency model: the cache is THREAD-LOCAL (StreamCache::local())
+// and a StreamEntry is only ever mutated by the thread whose cache owns
+// it. That invariant is not automatic — Simulators DO cross threads (the
+// parallel oracle copies the base simulator into pool workers; sweep
+// cells move results back) — so ThreadProgram records which cache
+// resolved its entry and re-resolves from the executing thread's cache
+// before the first chunk fetch on a foreign thread
+// (thread_program.cpp; the cross-boundary regression test is
+// ParallelOracle.TrialsCrossingChunkBoundariesMatchSerial under TSan).
+// Published chunks themselves are immutable, so a pinned chunk_ can be
+// read from any thread. This keeps the library free of locks and
+// atomics (the thread-primitive lint rule stays one-module-long).
+// Sharing is therefore per-thread, which is where the repeat-run wins
+// live anyway: a job runs start-to-finish on one thread, and each
+// oracle worker replays its trials from its own cache.
 //
 // Memory model: chunks are published as shared_ptr and tracked weakly;
 // a byte-budgeted retention pool (SMT_STREAM_CACHE_MB, default 64 MiB
@@ -157,6 +165,10 @@ class StreamGen {
 
   std::size_t phase_idx_ = 0;
   StreamPhase ph_{};
+  /// Correct-path count at which the next phase rotation fires (countdown
+  /// form of `(count / phase_len) % phases`, which would divide per
+  /// instruction on the synthesis hot path).
+  std::uint64_t phase_rotate_at_ = 0;
   std::uint64_t branch_pc_salt_ = 0;
 };
 
@@ -281,8 +293,16 @@ class StreamCache {
   RetentionPool pool_;
 };
 
+/// Generation-algorithm revision, mixed into profile_stream_digest so a
+/// stream key names the generator that produced it, not just its inputs.
+/// Bump whenever StreamGen's draw order, the RNG stream layout
+/// (StreamTag), or any upstream model changes what a (profile, tid,
+/// seed) key decodes to — the golden digests in test_stats_identity
+/// move in lockstep with such changes.
+inline constexpr std::uint64_t kStreamGenVersion = 1;
+
 /// FNV-1a digest over every AppProfile field that affects stream
-/// generation (the name is deliberately excluded).
+/// generation (the name is deliberately excluded) plus kStreamGenVersion.
 [[nodiscard]] std::uint64_t profile_stream_digest(const AppProfile& profile);
 
 }  // namespace smt::workload

@@ -7,33 +7,48 @@ namespace smt::workload {
 ThreadProgram::ThreadProgram(const AppProfile& profile,
                              std::uint32_t thread_id, std::uint64_t seed)
     : profile_(profile),
+      thread_id_(thread_id),
+      seed_(seed),
       code_base_(kCodeRegionBase + thread_id * kCodeSegmentStride),
       pc_(code_base_),
       stream_(StreamCache::local().entry(profile, thread_id, seed)),
+      home_(&StreamCache::local()),
       wrong_addr_(profile, (thread_id + 1) * kDataSegmentStride,
                   make_stream(seed, {kTagAddr, thread_id})),
       branches_(stream_->branches()),
       wrong_rng_(make_stream(seed, {kTagWrong, thread_id})),
       ph_(phase_state(profile, profile.phases.empty() ? PhaseKind::kBase
                                                       : profile.phases[0])),
+      phase_rotate_at_(profile.phase_len_instrs),
       branch_pc_salt_(branch_pc_salt(seed, thread_id)) {}
 
 isa::Instruction ThreadProgram::next() {
   // Phase rotation on correct-path instruction count (mirrors the
   // memoised generator so wrong-path draws see the right distribution).
+  // Countdown form, same as StreamGen::next: count_ is += 1 per call, so
+  // the boundary test replaces a per-instruction divide.
   if (!profile_.phases.empty() && profile_.phase_len_instrs > 0) {
-    const std::size_t idx = static_cast<std::size_t>(
-        (count_ / profile_.phase_len_instrs) % profile_.phases.size());
-    if (idx != phase_idx_) {
-      phase_idx_ = idx;
-      ph_ = phase_state(profile_, profile_.phases[idx]);
+    if (count_ >= phase_rotate_at_) {
+      phase_idx_ =
+          phase_idx_ + 1 == profile_.phases.size() ? 0 : phase_idx_ + 1;
+      ph_ = phase_state(profile_, profile_.phases[phase_idx_]);
+      phase_rotate_at_ += profile_.phase_len_instrs;
     }
   }
 
   if (!chunk_ || count_ - chunk_base_ >= kStreamChunkInstrs) {
+    StreamCache& cache = StreamCache::local();
+    if (&cache != home_) {
+      // This program was copied onto another thread (oracle trial, sweep
+      // worker). Entries are single-threaded, so swap to the executing
+      // thread's own entry before touching one; the stream is a pure
+      // function of (profile, tid, seed), so the chunks are identical.
+      stream_ = cache.entry(profile_, thread_id_, seed_);
+      home_ = &cache;
+    }
     chunk_ = stream_->chunk_for(count_);
     chunk_base_ = count_ & ~(kStreamChunkInstrs - 1);
-    StreamCache::local().pool().touch(chunk_);
+    cache.pool().touch(chunk_);
   }
   const isa::Instruction in = chunk_->instrs[count_ - chunk_base_];
 

@@ -71,11 +71,22 @@ class ThreadProgram {
 
  private:
   AppProfile profile_{};
+  std::uint32_t thread_id_ = 0;
+  std::uint64_t seed_ = 0;
   std::uint64_t code_base_ = 0;
   std::uint64_t pc_ = 0;
   std::uint64_t count_ = 0;  ///< cursor into the memoised stream
 
   std::shared_ptr<StreamEntry> stream_{};
+  /// The thread-local cache `stream_` was resolved from. Simulators are
+  /// copied across threads (parallel oracle trials, sweep workers); a
+  /// StreamEntry must only ever be mutated by the thread whose cache
+  /// owns it, so next() re-resolves from the executing thread's cache —
+  /// cheap pointer compare at chunk-refill granularity — before its
+  /// first chunk fetch on a foreign thread. Reads of the already-pinned
+  /// immutable chunk_ need no guard. The pointer is only compared, never
+  /// dereferenced, so it is harmless after its home thread exits.
+  StreamCache* home_ = nullptr;
   std::shared_ptr<const StreamChunk> chunk_{};  ///< chunk holding `count_`
   std::uint64_t chunk_base_ = 0;  ///< stream index of chunk_->instrs[0]
 
@@ -88,6 +99,9 @@ class ThreadProgram {
   Rng wrong_rng_{};
   std::size_t phase_idx_ = 0;
   StreamPhase ph_{};
+  /// Count at which the phase mirror rotates next (countdown form of the
+  /// per-instruction `(count / phase_len) % phases` divide).
+  std::uint64_t phase_rotate_at_ = 0;
   std::uint64_t branch_pc_salt_ = 0;
 };
 

@@ -86,6 +86,30 @@ TEST(ParallelOracle, ResultIsIdenticalForEveryJobsValue) {
   EXPECT_EQ(serial.quanta_per_policy, parallel.quanta_per_policy);
 }
 
+TEST(ParallelOracle, TrialsCrossingChunkBoundariesMatchSerial) {
+  // Regression: candidate trials are Simulator copies fanned out to pool
+  // workers, while `base` resolved its memoised streams on this thread.
+  // Quanta long enough that every trial crosses 4096-instruction chunk
+  // boundaries force each copy to fetch fresh chunks on its worker; a
+  // ThreadProgram must re-resolve its stream on the executing thread
+  // rather than mutate the base's StreamEntry concurrently. TSan runs of
+  // this suite (scripts/check_sanitize.sh thread) are the teeth; the
+  // serial-vs-parallel equality below is the determinism half.
+  // Two SMT threads: per-thread fetch bandwidth is high enough that every
+  // candidate walks through several chunks per quantum.
+  sim::Simulator base(sim::make_config(workload::mix("bal1"), 2, 7));
+  base.run(1024);
+  sim::OracleConfig cfg;
+  cfg.quantum_cycles = 16384;
+
+  const sim::OracleResult serial = sim::run_oracle(base, 2, cfg, 1);
+  const sim::OracleResult parallel = sim::run_oracle(base, 2, cfg, 8);
+  EXPECT_EQ(serial.cycles, parallel.cycles);
+  EXPECT_EQ(serial.committed, parallel.committed);
+  EXPECT_EQ(serial.switches, parallel.switches);
+  EXPECT_EQ(serial.quanta_per_policy, parallel.quanta_per_policy);
+}
+
 /// One full simulation -> exported metrics as a JSON string. Everything a
 /// run can observe is in here, so string equality is run equality.
 std::string stats_json_for(const std::string& mix_name) {
