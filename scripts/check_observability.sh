@@ -8,7 +8,8 @@
 #    conservation law (per-thread causes + machine bucket + DT slots ==
 #    idle fetch slots).
 # 3. Asserts the zero-perturbation contract: the --csv result of a traced
-#    run is byte-identical to the same run untraced.
+#    run (with --cpi commit-slot accounting on) is byte-identical to the
+#    same run untraced and unaccounted.
 #
 # Usage: scripts/check_observability.sh [smtsim-binary]
 set -euo pipefail
@@ -26,9 +27,9 @@ trap 'rm -rf "$tmp"' EXIT
 run=(--mix mem8 --adts --guard --fault-corrupt 0.3 --fault-dt-stall 0.2
      --fault-blackout 0.2 --cycles 32768 --warmup 8192 --quantum 1024 --csv)
 
-echo "== traced run (with pipeview sampling and host profiling)"
+echo "== traced run (with pipeview sampling, host profiling and CPI stacks)"
 "$smtsim" "${run[@]}" --trace "$tmp/trace.jsonl" --trace-format jsonl \
-  --pipeview 64@8192,48@16384 --prof \
+  --pipeview 64@8192,48@16384 --prof --cpi \
   --stats-json "$tmp/stats.json" > "$tmp/traced.csv"
 echo "== untraced run"
 "$smtsim" "${run[@]}" > "$tmp/untraced.csv"
@@ -49,7 +50,7 @@ jsonl, stats_path, chrome = sys.argv[1:4]
 
 KINDS = {"quantum", "thread_quantum", "policy_switch", "guard_action",
          "fault", "dt_stall_begin", "dt_stall_end", "invariant",
-         "pipeview", "switch_audit", "prof"}
+         "pipeview", "switch_audit", "prof", "cpi_stack"}
 KEYS = {"event", "quantum", "cycle", "tid", "span", "policy_before",
         "policy_after", "code", "mask", "value", "ipc", "fetch_share",
         "mispredict_rate", "l1d_miss_rate", "l1i_miss_rate", "stalls"}
@@ -58,10 +59,14 @@ BUILD_KEYS = {"event", "tool", "version", "git_sha", "compiler", "flags",
 CAUSES = {"policy_throttle", "icache_miss", "rob_full",
           "dispatch_backpressure", "squash_recovery", "fetch_blackout",
           "fragmentation"}
+CPI_CAUSES = {"committed", "rob_empty", "dep_wait", "mem_latency",
+              "fu_contention", "structural_full", "squash_recovery",
+              "switch_overhead"}
 
 n = 0
 pipeview = 0
 audits = 0
+cpi_rows = 0
 digest = None
 with open(jsonl) as f:
     for i, line in enumerate(f):
@@ -76,6 +81,8 @@ with open(jsonl) as f:
             want = KEYS | {"stages"}
         elif e["event"] == "prof":
             want = KEYS | {"label"}
+        elif e["event"] == "cpi_stack":
+            want = KEYS | {"cpi", "contend"}
         else:
             want = KEYS
         assert set(e) == want, f"line {i + 1}: keys {set(e) ^ want}"
@@ -87,12 +94,24 @@ with open(jsonl) as f:
         elif e["event"] == "switch_audit":
             audits += 1
             assert int(e["value"]) in (0, 1, 2), f"line {i + 1}: label"
+        elif e["event"] == "cpi_stack":
+            cpi_rows += 1
+            assert set(e["cpi"]) == CPI_CAUSES, f"line {i + 1}: cpi causes"
+            assert len(e["contend"]) == 8, f"line {i + 1}: contend slots"
+            # Per-row conservation: every commit slot of the span charged.
+            assert sum(e["cpi"].values()) == e["value"] * e["span"], \
+                f"line {i + 1}: cpi slots leak"
+            assert sum(e["stalls"].values()) == e["cpi"]["rob_empty"], \
+                f"line {i + 1}: rob_empty breakdown leaks"
+            assert sum(e["contend"]) == e["cpi"]["fu_contention"], \
+                f"line {i + 1}: contention breakdown leaks"
         n += 1
 assert n > 0, "empty trace"
 assert pipeview == 64 + 48, f"pipeview rows: {pipeview}"
 assert audits > 0, "no switch_audit rows in an ADTS run with switches"
-print(f"== trace.jsonl: {n} events ({pipeview} pipeview, {audits} audits), "
-      "schema OK")
+assert cpi_rows > 0, "no cpi_stack rows in a --cpi run"
+print(f"== trace.jsonl: {n} events ({pipeview} pipeview, {audits} audits, "
+      f"{cpi_rows} cpi), schema OK")
 
 stats = json.load(open(stats_path))
 threads = stats["threads"]
@@ -102,6 +121,17 @@ assert charged == stats["machine"]["charged_stall_slots"], "stall sum"
 assert charged + stats["machine"]["dt_slots_used"] == \
     stats["machine"]["fetch_slots_idle"], "conservation"
 print("== stats.json: stall conservation OK")
+
+# CPI-stack conservation: every thread's causes sum to the commit-slot
+# budget, and the per-thread budgets sum to the machine's.
+budget = stats["cpi"]["commit_width"] * stats["cpi"]["cycles_accounted"]
+cpi_total = 0
+for tid, t in threads.items():
+    slots = sum(t["cpi"][c] for c in CPI_CAUSES)
+    assert slots == t["cpi"]["slots"] == budget, f"cpi slots leak, tid {tid}"
+    cpi_total += slots
+assert cpi_total == stats["cpi"]["slots_accounted"], "cpi machine budget"
+print("== stats.json: cpi conservation OK")
 
 # run.* provenance must agree with the trace's build_info header.
 assert stats["run"]["config_digest"] == digest, "config digest mismatch"

@@ -54,10 +54,12 @@ trap 'rm -rf "$tmp"' EXIT
 # three attempts clears the floor keeps the gate's teeth without the
 # host-noise flakes.
 attempts=3
+measurements=()
 for i in $(seq 1 "$attempts"); do
   SMT_BENCH_SCALE="$scale" SMT_JOBS=1 "$bench" --json --single-only \
     > "$tmp/perf.json"
-  if python3 - "$baseline" "$tmp/perf.json" "$floor" <<'EOF'
+  line="$(python3 - "$baseline" "$tmp/perf.json" "$floor" "$i" "$attempts" \
+    <<'EOF'
 import json
 import sys
 
@@ -68,13 +70,24 @@ cur = cur_doc["single_run"]["sim_mips"]
 floor = float(sys.argv[3])
 need = base * floor
 ok = cur >= need
-print(f"check_perf_floor: current {cur:.2f} sim-MIPS vs baseline "
-      f"{base:.2f} at scale {base_doc.get('bench_scale', 'default')} "
+print(f"attempt {sys.argv[4]}/{sys.argv[5]}: {cur:.2f} sim-MIPS vs "
+      f"baseline {base:.2f} at scale "
+      f"{base_doc.get('bench_scale', 'default')} "
       f"(floor {floor:.2f}x -> {need:.2f}): "
       f"{'ok' if ok else 'below floor'}")
 sys.exit(0 if ok else 1)
 EOF
-  then
+  )" && ok=1 || ok=0
+  measurements+=("$line")
+  if [ "$ok" -eq 1 ]; then
+    # Report the full picture, not a bare pass: which attempt cleared
+    # and every measurement taken on the way, so noisy-host passes
+    # (attempt 2+ clearing after slow early samples) stay diagnosable
+    # from the log alone.
+    echo "check_perf_floor: OK — attempt $i/$attempts cleared the floor"
+    for m in "${measurements[@]}"; do
+      echo "  $m"
+    done
     exit 0
   fi
   if [ "$i" -lt "$attempts" ]; then
@@ -84,6 +97,9 @@ EOF
 done
 
 echo "check_perf_floor: FAIL — all $attempts attempts below the floor" >&2
+for m in "${measurements[@]}"; do
+  echo "  $m" >&2
+done
 python3 - "$baseline" "$tmp/perf.json" <<'EOF' >&2
 import json
 import sys

@@ -12,6 +12,11 @@
 #    host the document carries "degenerate_parallel": true — the
 #    speedup fields then measure thread-pool overhead, not parallelism,
 #    and must not be compared against multi-core baselines.
+# 3. Appends a one-line provenance-stamped record (sim-MIPS, kcycles/s,
+#    bench_scale, host, git sha, UTC time) to BENCH_history.jsonl so
+#    throughput can be tracked across commits and hosts; the full
+#    document in BENCH_perf.json is overwritten each run, the history
+#    line never is.
 #
 # Usage: scripts/run_perf_suite.sh [output.json]
 #   BUILD_DIR        build tree (default: build)
@@ -63,8 +68,40 @@ echo "== bench_sim_throughput (SMT_BENCH_SCALE=$SMT_BENCH_SCALE)"
 if command -v python3 >/dev/null 2>&1; then
   python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
   echo "== $out valid JSON"
+
+  # Append the run to the throughput history. One self-contained JSONL
+  # line per suite run: the headline single-run numbers plus enough
+  # provenance (host, scale, sha, time) to make any two lines comparable
+  # — or to explain why they are not.
+  history="$repo/BENCH_history.jsonl"
+  sha="$(git -C "$repo" describe --always --dirty 2>/dev/null || echo unknown)"
+  stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  python3 - "$out" "$sha" "$stamp" <<'EOF' >> "$history"
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+single = doc["single_run"]
+record = {
+    "time_utc": sys.argv[3],
+    "git_sha": sys.argv[2],
+    "bench_scale": doc["bench_scale"],
+    "host_cpu": doc["host_cpu"],
+    "host_cores": doc["host_cores"],
+    "degenerate_parallel": doc["degenerate_parallel"],
+    "mix": single["mix"],
+    "cycles": single["cycles"],
+    "samples": single["samples"],
+    "host_kcycles_per_sec": single["host_kcycles_per_sec"],
+    "sim_mips": single["sim_mips"],
+}
+print(json.dumps(record, sort_keys=True))
+EOF
+  echo "== appended record $(wc -l < "$history" | tr -d ' ')" \
+    "to $history"
 else
-  echo "== $out written (python3 unavailable; skipped validation)"
+  echo "== $out written (python3 unavailable; skipped validation" \
+    "and BENCH_history.jsonl append)"
 fi
 
 if grep -q '"degenerate_parallel": true' "$out"; then

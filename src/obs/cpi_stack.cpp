@@ -1,0 +1,33 @@
+#include "obs/cpi_stack.hpp"
+
+namespace smt::obs {
+
+CpiStack& CpiStack::operator+=(const CpiStack& o) noexcept {
+  for (std::size_t i = 0; i < kNumCpiCauses; ++i) slots[i] += o.slots[i];
+  for (std::size_t i = 0; i < kNumStallCauses; ++i) {
+    rob_empty_by[i] += o.rob_empty_by[i];
+  }
+  for (std::size_t i = 0; i < kCpiMaxThreads; ++i) contend[i] += o.contend[i];
+  return *this;
+}
+
+namespace {
+
+[[nodiscard]] std::uint64_t absdiff(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace
+
+std::uint64_t conservation_gap(const CpiStack& s, std::uint64_t commit_width,
+                               std::uint64_t cycles) noexcept {
+  std::uint64_t rob_empty = 0;
+  for (const std::uint64_t n : s.rob_empty_by) rob_empty += n;
+  std::uint64_t contend = 0;
+  for (const std::uint64_t n : s.contend) contend += n;
+  return absdiff(s.total(), commit_width * cycles) +
+         absdiff(rob_empty, s[CpiCause::kRobEmpty]) +
+         absdiff(contend, s[CpiCause::kFuContention]);
+}
+
+}  // namespace smt::obs

@@ -35,6 +35,11 @@
 //                          while unscored), mispredict_rate / l1d_miss_rate
 //                          (decision-time machine mispredicts / L1 misses
 //                          per cycle), l1i_miss_rate (condition magnitude)
+//   kCpiStack       >= 0   span (cycles), value (commit_width), ipc,
+//                          cpi (commit slots charged per CpiCause over
+//                          the span), stalls (kRobEmpty slots by the
+//                          fetch StallCause that starved the window),
+//                          contend (kFuContention slots by holder tid)
 //
 // Rates are per cycle over the event's span, matching the convention of
 // pipeline::QuantumRates; fetch_share is the fraction of *all* fetch
@@ -45,6 +50,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/cpi_stack.hpp"
 #include "obs/stall.hpp"
 
 namespace smt::obs {
@@ -61,6 +67,7 @@ enum class EventKind : std::uint8_t {
   kPipeview,       ///< sampled instruction's full pipeline lifecycle
   kSwitchAudit,    ///< provenance + post-hoc label for an applied switch
   kProf,           ///< host-time phase node (src/prof PhaseProfiler)
+  kCpiStack,       ///< per-thread quantum CPI stack (commit-slot account)
 };
 
 [[nodiscard]] constexpr std::string_view name(EventKind k) noexcept {
@@ -76,6 +83,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kPipeview: return "pipeview";
     case EventKind::kSwitchAudit: return "switch_audit";
     case EventKind::kProf: return "prof";
+    case EventKind::kCpiStack: return "cpi_stack";
   }
   return "unknown";
 }
@@ -179,6 +187,11 @@ struct TraceEvent {
   std::array<std::uint32_t, kNumPipeStages> stage_delta{};
   /// kProf only: NUL-terminated leaf phase name ("fetch", "detector").
   std::array<char, 16> label{};
+  /// kCpiStack only: commit slots charged over the span, by CpiCause.
+  std::array<std::uint64_t, kNumCpiCauses> cpi{};
+  /// kCpiStack only: kFuContention slots by the co-runner that held the
+  /// contended resource (index = holder tid).
+  std::array<std::uint64_t, kCpiMaxThreads> contend{};
 
   [[nodiscard]] std::string_view label_view() const noexcept {
     return {label.data(),

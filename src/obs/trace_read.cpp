@@ -156,13 +156,13 @@ std::string as_code_string(const JsonValue& v, std::size_t line_no) {
 
 // --- field-name tables -----------------------------------------------------
 
-constexpr std::array<EventKind, 11> kAllKinds{
+constexpr std::array<EventKind, 12> kAllKinds{
     EventKind::kQuantum,    EventKind::kThreadQuantum,
     EventKind::kPolicySwitch, EventKind::kGuardAction,
     EventKind::kFault,      EventKind::kDtStallBegin,
     EventKind::kDtStallEnd, EventKind::kInvariant,
     EventKind::kPipeview,   EventKind::kSwitchAudit,
-    EventKind::kProf};
+    EventKind::kProf,       EventKind::kCpiStack};
 
 std::uint64_t parse_u64_field(const std::string& s, std::size_t line_no) {
   if (s.empty()) return 0;
@@ -227,6 +227,23 @@ void parse_stage_list(const std::string& s, ReadEvent& e,
     start = semi + 1;
   }
   if (start <= s.size()) fail(line_no, "too many stage deltas");
+}
+
+// Parse a "d;d;...;d" contention list (CSV) into the holder-tid array.
+void parse_contend_list(const std::string& s, ReadEvent& e,
+                        std::size_t line_no) {
+  if (s.empty()) return;
+  std::size_t start = 0;
+  std::size_t slot = 0;
+  while (start <= s.size() && slot < e.contend.size()) {
+    const std::size_t semi = s.find(';', start);
+    const std::string tok = s.substr(
+        start, semi == std::string::npos ? std::string::npos : semi - start);
+    e.contend[slot++] = parse_u64_field(tok, line_no);
+    if (semi == std::string::npos) return;
+    start = semi + 1;
+  }
+  if (start <= s.size()) fail(line_no, "too many contention slots");
 }
 
 }  // namespace
@@ -313,8 +330,14 @@ ReadTrace read_trace(std::istream& is) {
             "stall_" + std::string(name(static_cast<StallCause>(c)));
         e.stalls[c] = parse_u64_field(field(col), line_no);
       }
+      for (std::size_t c = 0; c < kNumCpiCauses; ++c) {
+        const std::string col =
+            "cpi_" + std::string(name(static_cast<CpiCause>(c)));
+        e.cpi[c] = parse_u64_field(field(col), line_no);
+      }
       parse_stage_list(field("stages"), e, line_no);
       e.label = field("label");
+      parse_contend_list(field("contend"), e, line_no);
       out.events.push_back(std::move(e));
       continue;
     }
@@ -379,6 +402,32 @@ ReadTrace read_trace(std::istream& is) {
       for (std::size_t i = 0; i < stages.size(); ++i) {
         e.stages[i] =
             static_cast<std::uint64_t>(as_double(stages[i], line_no));
+      }
+    }
+    if (const auto cp = obj.find("cpi"); cp != obj.end()) {
+      if (!std::holds_alternative<JsonObject>(cp->second.v)) {
+        fail(line_no, "\"cpi\" must be an object");
+      }
+      const JsonObject& cpi = std::get<JsonObject>(cp->second.v);
+      for (std::size_t c = 0; c < kNumCpiCauses; ++c) {
+        const auto it = cpi.find(std::string(name(static_cast<CpiCause>(c))));
+        if (it != cpi.end()) {
+          e.cpi[c] =
+              static_cast<std::uint64_t>(as_double(it->second, line_no));
+        }
+      }
+    }
+    if (const auto cn = obj.find("contend"); cn != obj.end()) {
+      if (!std::holds_alternative<JsonArray>(cn->second.v)) {
+        fail(line_no, "\"contend\" must be an array");
+      }
+      const JsonArray& contend = std::get<JsonArray>(cn->second.v);
+      if (contend.size() > e.contend.size()) {
+        fail(line_no, "too many contention slots");
+      }
+      for (std::size_t i = 0; i < contend.size(); ++i) {
+        e.contend[i] =
+            static_cast<std::uint64_t>(as_double(contend[i], line_no));
       }
     }
     e.label = code_str("label");

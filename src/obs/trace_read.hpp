@@ -56,6 +56,10 @@ struct ReadEvent {
   std::array<std::uint64_t, kNumPipeStages> stages{};
   /// kProf only: leaf phase name ("fetch", "detector", ...).
   std::string label;
+  /// kCpiStack only: commit slots charged by CpiCause index.
+  std::array<std::uint64_t, kNumCpiCauses> cpi{};
+  /// kCpiStack only: kFuContention slots by holder tid.
+  std::array<std::uint64_t, kCpiMaxThreads> contend{};
 };
 
 struct ReadTrace {

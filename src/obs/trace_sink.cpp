@@ -199,7 +199,10 @@ void TraceSink::write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
   for (std::size_t c = 0; c < kNumStallCauses; ++c) {
     os << ",stall_" << name(static_cast<StallCause>(c));
   }
-  os << ",stages,label\n";
+  for (std::size_t c = 0; c < kNumCpiCauses; ++c) {
+    os << ",cpi_" << name(static_cast<CpiCause>(c));
+  }
+  os << ",stages,label,contend\n";
   for (const TraceEvent& e : evs) {
     os << name(e.kind) << ',' << e.quantum << ',' << e.cycle << ',' << e.tid
        << ',' << e.span << ',';
@@ -221,6 +224,7 @@ void TraceSink::write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
     os << ',';
     put_double(os, e.l1i_miss_rate);
     for (const std::uint64_t s : e.stalls) os << ',' << s;
+    for (const std::uint64_t s : e.cpi) os << ',' << s;
     os << ',';
     if (e.kind == EventKind::kPipeview) {
       for (std::size_t i = 0; i < kNumPipeStages; ++i) {
@@ -230,6 +234,13 @@ void TraceSink::write_csv(std::ostream& os, const std::vector<TraceEvent>& evs,
     }
     os << ',';
     if (e.kind == EventKind::kProf) os << e.label_view();
+    os << ',';
+    if (e.kind == EventKind::kCpiStack) {
+      for (std::size_t h = 0; h < kCpiMaxThreads; ++h) {
+        if (h > 0) os << ';';
+        os << e.contend[h];
+      }
+    }
     os << '\n';
   }
 }
@@ -280,6 +291,19 @@ void TraceSink::write_jsonl(std::ostream& os,
     if (e.kind == EventKind::kProf) {
       os << ",\"label\":";
       put_json_string(os, e.label_view());
+    }
+    if (e.kind == EventKind::kCpiStack) {
+      os << ",\"cpi\":{";
+      for (std::size_t c = 0; c < kNumCpiCauses; ++c) {
+        if (c > 0) os << ',';
+        os << '"' << name(static_cast<CpiCause>(c)) << "\":" << e.cpi[c];
+      }
+      os << "},\"contend\":[";
+      for (std::size_t h = 0; h < kCpiMaxThreads; ++h) {
+        if (h > 0) os << ',';
+        os << e.contend[h];
+      }
+      os << ']';
     }
     os << "}\n";
   }
@@ -440,6 +464,20 @@ void TraceSink::write_chrome(std::ostream& os,
         os << ",\"pid\":2,\"tid\":0,\"args\":{\"count\":" << e.quantum
            << ",\"excl_ns\":" << e.value
            << ",\"depth\":" << static_cast<unsigned>(e.code) << "}}";
+        break;
+      }
+      case EventKind::kCpiStack: {
+        // One counter track per thread: the per-quantum commit-slot
+        // stack renders as a stacked area chart over time.
+        next();
+        os << "{\"name\":\"thread " << e.tid
+           << " cpi\",\"ph\":\"C\",\"ts\":" << e.cycle
+           << ",\"pid\":0,\"tid\":0,\"args\":{";
+        for (std::size_t c = 0; c < kNumCpiCauses; ++c) {
+          if (c > 0) os << ',';
+          os << '"' << name(static_cast<CpiCause>(c)) << "\":" << e.cpi[c];
+        }
+        os << "}}";
         break;
       }
     }

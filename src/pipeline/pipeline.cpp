@@ -9,6 +9,7 @@
 
 #include "isa/instruction.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/cpi_stack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stall.hpp"
 #include "obs/trace_event.hpp"
@@ -126,6 +127,8 @@ void Pipeline::step() {
     do_dispatch();
     do_fetch();
   }
+
+  if (cpi_.enabled) account_cpi();
 
   for (Thread& t : threads_) ++t.counters.cycles_seen;
   ++stats_.cycles;
@@ -388,6 +391,7 @@ void Pipeline::do_issue() {
     }
 
     t.state[slot] = static_cast<std::uint8_t>(InstrState::kIssued);
+    if (cpi_.enabled) cpi_.issued_tids |= 1ull << r.tid;
     if (t.pview[slot] >= 0) {
       pview_stamp(t, slot, obs::PipeStage::kIssue);
       pview_stamp(t, slot, obs::PipeStage::kExecute);
@@ -745,6 +749,16 @@ void Pipeline::do_fetch() {
       }
     }
   }
+
+  // CPI accounting: remember this cycle's per-thread fetch outcome so
+  // account_cpi() can back-propagate the fetch-side cause onto empty
+  // (starved) windows. A thread that fetched records no cause.
+  if (cpi_.enabled) {
+    for (std::uint32_t tid = 0; tid < n; ++tid) {
+      cpi_.fetch_cause[tid] =
+          fetched_per_thread[tid] > 0 ? 0 : block_cause[tid];
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -915,6 +929,12 @@ workload::ThreadProgram Pipeline::swap_program(std::uint32_t tid,
   ++t.quantum_epoch;  // quantum accumulators restarted too
   t.fetch_stall_until =
       std::max<std::uint64_t>(t.fetch_stall_until, cycle_ + penalty_cycles);
+  if (cpi_.enabled) {
+    // The fetch stall just imposed is a context-switch cost, not a
+    // squash-recovery penalty; account_cpi reclassifies it.
+    cpi_.swap_stall_until[tid] = std::max<std::uint64_t>(
+        cpi_.swap_stall_until[tid], cycle_ + penalty_cycles);
+  }
 
   workload::ThreadProgram outgoing = std::move(t.program);
   t.program = std::move(incoming);
@@ -1054,6 +1074,173 @@ std::uint64_t Pipeline::charged_stall_slots() const noexcept {
 }
 
 // ---------------------------------------------------------------------------
+// CPI-stack commit-slot accounting (obs/cpi_stack.hpp).
+//
+// Runs at the end of step(), after every stage: each thread's head-of-
+// window state then explains the whole cycle, because commit is in-order
+// — whatever blocks the head blocks every younger instruction behind it.
+// Committed slots are Δhead_seq (advances exactly one per retirement and
+// is preserved across squashes and context switches, so the delta needs
+// no epoch handling); the remaining commit_width − Δ slots are charged
+// to exactly one cause. Conservation — per cycle and per run — is
+// total() == commit_width × cycles_accounted per thread, enforced by
+// tests/test_cpi_stack.cpp and scripts/check_cpi.sh.
+// ---------------------------------------------------------------------------
+void Pipeline::set_cpi_accounting(bool on) {
+  cpi_ = CpiState{};
+  if (!on) return;
+  cpi_.enabled = true;
+  const std::size_t n = threads_.size();
+  cpi_.stacks.assign(n, obs::CpiStack{});
+  cpi_.prev_head_seq.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cpi_.prev_head_seq[i] = threads_[i].head_seq;
+  }
+  cpi_.fetch_cause.assign(n, 0);
+  cpi_.swap_stall_until.assign(n, 0);
+  cpi_.refill_cause.assign(
+      n, static_cast<std::uint8_t>(obs::CpiCause::kRobEmpty));
+  cpi_.refill_sub.assign(
+      n, static_cast<std::int8_t>(obs::StallCause::kPolicyThrottle));
+}
+
+void Pipeline::charge_cpi_contention(std::uint32_t tid, std::uint64_t lost,
+                                     std::uint64_t holders) {
+  obs::CpiStack& st = cpi_.stacks[tid];
+  st.charge(obs::CpiCause::kFuContention, lost);
+  // Blame co-runners; only with no co-runner to blame does the loss
+  // fall back on the thread itself (intra-thread arbitration).
+  std::uint64_t mask = holders & ~(1ull << tid);
+  if (mask == 0) mask = 1ull << tid;
+  std::array<std::uint32_t, 64> ids;  // n <= 64
+  std::uint32_t m = 0;
+  for (std::uint64_t b = mask; b != 0; b &= b - 1) {
+    // Co-runners beyond the 8-context convention fold into the last
+    // bucket so the contend invariant survives exotic configurations.
+    ids[m++] = std::min<std::uint32_t>(
+        ctz64(b), static_cast<std::uint32_t>(obs::kCpiMaxThreads) - 1);
+  }
+  // Rotate the start with the cycle so repeated single-slot losses do
+  // not systematically blame the lowest-numbered holder.
+  std::uint32_t at = static_cast<std::uint32_t>(cycle_ % m);
+  for (std::uint64_t k = 0; k < lost;
+       ++k, at = (at + 1 == m ? 0 : at + 1)) {
+    ++st.contend[ids[at]];
+  }
+}
+
+void Pipeline::account_cpi() {
+  const std::uint32_t n = num_threads();
+  const std::uint64_t width = cfg_.commit_width;
+
+  // Per-thread committed slots this cycle, and the committer set (the
+  // holders when a done head lost the shared commit bandwidth).
+  std::array<std::uint64_t, 64> committed{};  // n <= 64
+  std::uint64_t committers = 0;
+  std::uint64_t committed_total = 0;
+  for (std::uint32_t tid = 0; tid < n; ++tid) {
+    const std::uint64_t c = threads_[tid].head_seq - cpi_.prev_head_seq[tid];
+    committed[tid] = c;
+    committed_total += c;
+    if (c != 0) committers |= 1ull << tid;
+  }
+
+  for (std::uint32_t tid = 0; tid < n; ++tid) {
+    Thread& t = threads_[tid];
+    obs::CpiStack& st = cpi_.stacks[tid];
+    cpi_.prev_head_seq[tid] = t.head_seq;
+    st.charge(obs::CpiCause::kCommitted, committed[tid]);
+    const std::uint64_t lost = width - committed[tid];
+    if (lost == 0) continue;
+
+    if (win_empty(t)) {
+      // Starved window: back-propagate this cycle's fetch-side cause.
+      // No recorded cause means the thread merely lost fetch
+      // arbitration — the policy throttle working as designed.
+      const std::uint8_t fc = cpi_.fetch_cause[tid];
+      const obs::StallCause cause =
+          fc != 0 ? static_cast<obs::StallCause>(fc - 1)
+                  : obs::StallCause::kPolicyThrottle;
+      obs::CpiCause top = obs::CpiCause::kRobEmpty;
+      std::int8_t sub = -1;
+      if (cause == obs::StallCause::kFetchBlackout) {
+        top = obs::CpiCause::kSwitchOverhead;
+      } else if (cause == obs::StallCause::kSquashRecovery) {
+        top = cycle_ < cpi_.swap_stall_until[tid]
+                  ? obs::CpiCause::kSwitchOverhead
+                  : obs::CpiCause::kSquashRecovery;
+      } else {
+        sub = static_cast<std::int8_t>(cause);
+      }
+      st.charge(top, lost);
+      if (sub >= 0) {
+        st.rob_empty_by[static_cast<std::size_t>(sub)] += lost;
+      }
+      // Remember the charge: the frontend_delay refill that follows
+      // keeps this attribution until the head reaches dispatch.
+      cpi_.refill_cause[tid] = static_cast<std::uint8_t>(top);
+      cpi_.refill_sub[tid] = sub;
+      continue;
+    }
+
+    const std::uint32_t slot = slot_of(t.head_seq);
+    switch (static_cast<InstrState>(t.state[slot])) {
+      case InstrState::kDone:
+        if (committed_total >= width) {
+          // Ready to retire, but co-runners consumed the shared commit
+          // bandwidth — the symbiosis signal.
+          charge_cpi_contention(tid, lost, committers);
+        } else {
+          // Completed after this cycle's commit stage already ran:
+          // pure completion latency, charged as dependency wait.
+          st.charge(obs::CpiCause::kDepWait, lost);
+        }
+        break;
+      case InstrState::kIssued:
+        if (t.si[slot].cls == isa::InstrClass::kLoad &&
+            (t.flags[slot] & kFlagL1dOutstanding)) {
+          st.charge(obs::CpiCause::kMemLatency, lost);
+        } else {
+          st.charge(obs::CpiCause::kDepWait, lost);
+        }
+        break;
+      case InstrState::kQueued:
+        // The head's producers are all older than head_seq, hence
+        // architecturally complete: it was ready by construction and
+        // lost only the issue-width/FU/mem-port arbitration.
+        charge_cpi_contention(tid, lost, cpi_.issued_tids);
+        break;
+      case InstrState::kFrontEnd:
+        if (t.dispatch_ready[slot] > cycle_) {
+          // Decode/rename refill: keep the charge that emptied the
+          // window (cold start defaults to rob_empty/policy_throttle).
+          const auto top =
+              static_cast<obs::CpiCause>(cpi_.refill_cause[tid]);
+          st.charge(top, lost);
+          if (cpi_.refill_sub[tid] >= 0) {
+            st.rob_empty_by[static_cast<std::size_t>(
+                cpi_.refill_sub[tid])] += lost;
+          }
+        } else {
+          // Released by the front end but dispatch-blocked: IQ/LSQ/
+          // rename exhaustion (possibly via FIFO head-of-line).
+          st.charge(obs::CpiCause::kStructuralFull, lost);
+        }
+        break;
+      case InstrState::kEmpty:
+        // Unreachable for a live head; keep conservation if it ever is.
+        st.charge(obs::CpiCause::kRobEmpty, lost);
+        st.rob_empty_by[static_cast<std::size_t>(
+            obs::StallCause::kPolicyThrottle)] += lost;
+        break;
+    }
+  }
+
+  cpi_.issued_tids = 0;
+  ++cpi_.cycles_accounted;
+}
+
+// ---------------------------------------------------------------------------
 // Structural audit (src/check + tests).
 // ---------------------------------------------------------------------------
 Pipeline::ResourceAudit Pipeline::audit_resources() const {
@@ -1158,6 +1345,37 @@ void export_metrics(const Pipeline& pipe, obs::MetricsRegistry& reg) {
           key, sizeof key, "threads.%u.stalls.%s", tid,
           std::string(name(static_cast<obs::StallCause>(cause))).c_str());
       reg.set(key, sb.slots[cause]);
+    }
+  }
+
+  // CPI-stack accounting appears only when enabled: an accounting-off
+  // run's stats document is byte-identical to pre-CPI output (golden
+  // digests), the same contract as check.* keys.
+  if (!pipe.cpi_accounting()) return;
+  const std::uint64_t width = pipe.config().commit_width;
+  const std::uint64_t acct_cycles = pipe.cpi_cycles_accounted();
+  reg.set("cpi.commit_width", width);
+  reg.set("cpi.cycles_accounted", acct_cycles);
+  reg.set("cpi.slots_accounted", width * acct_cycles * pipe.num_threads());
+  for (std::uint32_t tid = 0; tid < pipe.num_threads(); ++tid) {
+    const obs::CpiStack& st = pipe.cpi_stack(tid);
+    std::snprintf(key, sizeof key, "threads.%u.cpi.slots", tid);
+    reg.set(key, st.total());
+    for (std::size_t c = 0; c < obs::kNumCpiCauses; ++c) {
+      std::snprintf(
+          key, sizeof key, "threads.%u.cpi.%s", tid,
+          std::string(name(static_cast<obs::CpiCause>(c))).c_str());
+      reg.set(key, st.slots[c]);
+    }
+    for (std::size_t c = 0; c < obs::kNumStallCauses; ++c) {
+      std::snprintf(
+          key, sizeof key, "threads.%u.cpi.rob_empty_by.%s", tid,
+          std::string(name(static_cast<obs::StallCause>(c))).c_str());
+      reg.set(key, st.rob_empty_by[c]);
+    }
+    for (std::size_t h = 0; h < obs::kCpiMaxThreads; ++h) {
+      std::snprintf(key, sizeof key, "threads.%u.cpi.contend.%zu", tid, h);
+      reg.set(key, st.contend[h]);
     }
   }
 }

@@ -41,6 +41,7 @@
 #include "common/rng.hpp"
 #include "isa/instruction.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/cpi_stack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stall.hpp"
 #include "obs/trace_event.hpp"
@@ -180,6 +181,27 @@ class Pipeline {
   /// stats().fetch_slots_idle.
   [[nodiscard]] std::uint64_t charged_stall_slots() const noexcept;
 
+  // --- CPI-stack commit-slot accounting (observability) -------------------
+  /// Enable top-down commit-slot accounting: from the next step() on,
+  /// every commit-width slot of every thread is charged each cycle to
+  /// exactly one CpiCause (obs/cpi_stack.hpp). Accounting is pure
+  /// observation — it reads pipeline state after the stages ran and
+  /// never feeds back, so an accounted run's simulated results are
+  /// bit-identical to an unaccounted one (the golden stats digests lock
+  /// this). Copying a pipeline drops the accounting state, the same
+  /// observer contract as pipeview/profiler. Pass false to detach.
+  void set_cpi_accounting(bool on);
+  [[nodiscard]] bool cpi_accounting() const noexcept { return cpi_.enabled; }
+  /// Per-thread commit-slot stack accumulated since accounting was
+  /// enabled. Conservation: total() == commit_width × cpi_cycles_accounted.
+  [[nodiscard]] const obs::CpiStack& cpi_stack(std::uint32_t tid) const {
+    return cpi_.stacks[tid];
+  }
+  /// Cycles accounted since set_cpi_accounting(true).
+  [[nodiscard]] std::uint64_t cpi_cycles_accounted() const noexcept {
+    return cpi_.cycles_accounted;
+  }
+
   // --- counter epochs (observability) ------------------------------------
   /// Bumped whenever `tid`'s quantum accumulators are reset (quantum
   /// boundary or context switch). Lets an external observer detect that
@@ -310,6 +332,12 @@ class Pipeline {
     if (t.next_seq == t.head_seq) return false;
     t.seq[slot_of(t.next_seq - 1)] += 7;
     return true;
+  }
+  /// Silently inflate one CPI-cause bucket so tests can prove the
+  /// conservation check (obs::conservation_gap) fires for that class.
+  void testing_corrupt_cpi(std::uint32_t tid, std::size_t cause,
+                           std::uint64_t delta) {
+    cpi_.stacks[tid].slots[cause] += delta;
   }
 
  private:
@@ -600,6 +628,55 @@ class Pipeline {
     ~ProfState() = default;
   };
   ProfState prof_;
+
+  /// All CPI-stack accounting state, isolated like PipeviewState so
+  /// copies drop it wholesale (observer contract: an oracle snapshot
+  /// must not account) while the pipeline keeps defaulted copy ops.
+  /// The per-cycle scratch (fetch_cause, issued_tids) is written by the
+  /// stages under an `enabled` guard and consumed by account_cpi() at
+  /// the end of the same step().
+  struct CpiState {
+    bool enabled = false;
+    std::uint64_t cycles_accounted = 0;
+    /// Threads that issued an instruction this cycle (per-cycle scratch;
+    /// holder attribution for lost issue arbitration).
+    std::uint64_t issued_tids = 0;
+    std::vector<obs::CpiStack> stacks;          ///< per-thread accounts
+    std::vector<std::uint64_t> prev_head_seq;   ///< Δ == committed/cycle
+    /// Per-cycle fetch outcome: 0 = fetched (or no cause recorded),
+    /// else StallCause + 1 — the cause that kept fetch from feeding
+    /// this thread's empty window.
+    std::vector<std::uint8_t> fetch_cause;
+    /// Context-switch penalty window: a fetch_stall charged while
+    /// cycle < swap_stall_until is switch overhead, not squash recovery.
+    std::vector<std::uint64_t> swap_stall_until;
+    /// Sticky charge for front-end refill cycles: the (cause, rob-empty
+    /// sub-cause) that last emptied the window, so the frontend_delay
+    /// refill after e.g. an I-cache drain keeps that attribution.
+    std::vector<std::uint8_t> refill_cause;  ///< CpiCause
+    std::vector<std::int8_t> refill_sub;     ///< StallCause, -1 = none
+
+    CpiState() = default;
+    CpiState(const CpiState&) {}  // copies drop the accounting
+    CpiState& operator=(const CpiState&) {
+      *this = CpiState{};
+      return *this;
+    }
+    CpiState(CpiState&&) = default;
+    CpiState& operator=(CpiState&&) = default;
+    ~CpiState() = default;
+  };
+  CpiState cpi_;
+
+  /// End-of-step() accounting pass: charge each thread's commit_width
+  /// slots for this cycle. O(threads), no heap, reads the post-stage
+  /// window heads only.
+  void account_cpi();
+  /// Charge `lost` kFuContention slots on `tid`, distributing holder
+  /// blame round-robin over `holders` (a tid bitmask; self is excluded
+  /// unless it is the only holder).
+  void charge_cpi_contention(std::uint32_t tid, std::uint64_t lost,
+                             std::uint64_t holders);
 
   /// step() body with each stage under a phase scope; split out so the
   /// common unprofiled path stays branch-free beyond one predictable

@@ -11,6 +11,7 @@
 #include "core/guard.hpp"
 #include "core/heuristics.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/cpi_stack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stall.hpp"
 #include "obs/switch_audit.hpp"
@@ -176,6 +177,7 @@ Simulator::Simulator(const SimConfig& cfg)
       use_adts_(cfg.use_adts),
       check_on_(check::check_enabled(cfg.check)) {
   pipe_.set_policy(cfg.fixed_policy);
+  if (cfg.cpi) pipe_.set_cpi_accounting(true);
   if (check_on_) {
     check::CheckerConfig ccfg;
     ccfg.quantum_cycles = cfg.adts.quantum_cycles;
@@ -268,6 +270,10 @@ void Simulator::attach_trace(obs::TraceSink* sink) {
     b.l1i_misses_quantum = c.l1i_misses_quantum;
     b.fetched_total = c.fetched_total;
     b.stalls = pipe_.stall_breakdown(tid);
+    if (pipe_.cpi_accounting()) {
+      b.cpi = pipe_.cpi_stack(tid);
+      b.cpi_cycles = pipe_.cpi_cycles_accounted();
+    }
   }
   dt_stalled_prev_ = injector_.dt_stalled();
   dt_stall_begin_cycle_ = pipe_.now();
@@ -510,6 +516,40 @@ void Simulator::record_quantum_snapshot() {
       t.stalls[k] = cur.slots[k] - b.stalls.slots[k];
     }
     sink_->record(t);
+
+    if (pipe_.cpi_accounting()) {
+      // One CPI-stack row per thread per quantum. The pipeline's stacks
+      // and cycles_accounted are monotone (never reset by boundaries or
+      // swaps), so the delta needs no epoch check; the row's span is the
+      // accounted-cycle delta so per-row conservation
+      // (Σcpi == commit_width × span) holds even if accounting was
+      // enabled mid-quantum.
+      const obs::CpiStack& cs = pipe_.cpi_stack(tid);
+      obs::TraceEvent cr;
+      cr.kind = obs::EventKind::kCpiStack;
+      cr.cycle = cycle;
+      cr.quantum = quantum;
+      cr.tid = static_cast<std::int32_t>(tid);
+      cr.span = pipe_.cpi_cycles_accounted() - b.cpi_cycles;
+      cr.value = pipe_.config().commit_width;
+      for (std::size_t k = 0; k < obs::kNumCpiCauses; ++k) {
+        cr.cpi[k] = cs.slots[k] - b.cpi.slots[k];
+      }
+      cr.ipc = cr.span == 0
+                   ? 0.0
+                   : static_cast<double>(cr.cpi[static_cast<std::size_t>(
+                         obs::CpiCause::kCommitted)]) /
+                         static_cast<double>(cr.span);
+      for (std::size_t k = 0; k < obs::kNumStallCauses; ++k) {
+        cr.stalls[k] = cs.rob_empty_by[k] - b.cpi.rob_empty_by[k];
+      }
+      for (std::size_t k = 0; k < obs::kCpiMaxThreads; ++k) {
+        cr.contend[k] = cs.contend[k] - b.cpi.contend[k];
+      }
+      sink_->record(cr);
+      b.cpi = cs;
+      b.cpi_cycles = pipe_.cpi_cycles_accounted();
+    }
 
     b.quantum_epoch = pipe_.quantum_epoch(tid);
     b.life_epoch = pipe_.life_epoch(tid);

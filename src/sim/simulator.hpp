@@ -16,6 +16,7 @@
 #include "core/detector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "obs/cpi_stack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stall.hpp"
 #include "obs/trace_sink.hpp"
@@ -55,6 +56,13 @@ struct SimConfig {
   /// Pipeview sampling windows (--pipeview N@CYCLE): active only while a
   /// trace sink is attached; empty = no lifecycle sampling.
   std::vector<pipeline::PipeviewWindow> pipeview;
+
+  /// Per-slot commit-loss accounting (--cpi): charges every commit slot
+  /// of every cycle to one CpiCause per thread, exports cpi.* stats keys
+  /// and per-quantum kCpiStack trace rows. Observation-only — the
+  /// simulated machine is bit-identical with accounting on or off — and
+  /// deliberately NOT part of config_digest, like check/prof.
+  bool cpi = false;
 };
 
 /// FNV-1a fingerprint of the knobs that determine a run's results (machine
@@ -178,6 +186,11 @@ class Simulator {
     std::uint64_t l1i_misses_quantum = 0;
     std::uint64_t fetched_total = 0;
     obs::StallBreakdown stalls;
+    /// CPI-stack snapshot at the previous quantum boundary. The pipeline's
+    /// stacks are monotone accumulators (never reset by quantum boundaries
+    /// or swaps), so plain differencing needs no epoch handling.
+    obs::CpiStack cpi;
+    std::uint64_t cpi_cycles = 0;  ///< cycles_accounted at the snapshot
   };
 
   void record_quantum_snapshot();

@@ -96,6 +96,14 @@ observability (normal runs; ignored under --oracle):
                         --fault-report. Analyze with smttrace pipeview.
   --stats-json PATH     write end-of-run metrics from every subsystem as
                         nested JSON to PATH ('-' = stdout)
+  --cpi                 per-slot commit-loss accounting (CPI stacks):
+                        charge every commit slot of every cycle to one
+                        cause per thread — committed, ROB-empty (by fetch
+                        stall cause), dependency wait, memory latency,
+                        FU/port contention (by co-runner), structural
+                        full, squash recovery, switch overhead. Exports
+                        cpi.* keys in --stats-json and per-quantum
+                        cpi_stack trace rows. Analyze with smttrace cpi.
 
 host profiling (host-time observability; simulated results unchanged):
   --prof                collect hierarchical host-phase timings — run
@@ -258,10 +266,10 @@ int main(int argc, char** argv) {
          "fault-dt-stall", "fault-stall-quanta", "fault-drop", "fault-delay",
          "fault-delay-quanta", "fault-blackout", "fault-blackout-cycles",
          "fault-report", "trace", "trace-format", "pipeview", "stats-json",
-         "prof", "prof-folded", "prof-stride", "check", "version"},
+         "cpi", "prof", "prof-folded", "prof-stride", "check", "version"},
         /*flag_keys=*/{"adts", "instant", "guard", "oracle", "all-policies",
                        "csv", "list", "help", "fault-report", "check",
-                       "prof", "version"});
+                       "cpi", "prof", "version"});
     if (args.has("help")) {
       std::cout << kUsage;
       return kExitOk;
@@ -446,6 +454,7 @@ int main(int argc, char** argv) {
     }
 
     cfg.fault = parse_fault_config(args);
+    cfg.cpi = args.has("cpi");
 
     if (args.has("pipeview")) {
       if (!args.has("trace") && !args.has("fault-report")) {

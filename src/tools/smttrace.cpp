@@ -9,6 +9,13 @@
 //   diff     <trace> <trace2>  per-quantum IPC / stall / switch deltas;
 //                              ends with a greppable
 //                              "N quanta compared, M differing" line
+//   cpi      <trace> [<trace2>]  per-thread CPI stacks from --cpi runs:
+//                              commit-slot shares by cause, the ROB-empty
+//                              fetch-cause breakdown, the co-runner
+//                              contention matrix and a per-quantum
+//                              time-series; with a second trace, an A/B
+//                              per-quantum-per-thread stack diff ending
+//                              with a greppable "compared/differing" line
 //
 // A trace path of "-" reads stdin, pairing with `smtsim --trace -`.
 // Both serialized formats decode through obs::read_trace; fields that CSV
@@ -34,6 +41,7 @@
 #include "common/cli.hpp"
 #include "common/exit_codes.hpp"
 #include "common/table.hpp"
+#include "obs/cpi_stack.hpp"
 #include "obs/histogram.hpp"
 #include "obs/stall.hpp"
 #include "obs/switch_audit.hpp"
@@ -58,6 +66,10 @@ commands:
   pipeview <trace>            ASCII waterfall of --pipeview lifecycle samples
   hist     <trace>            stage-latency and quantum-IPC histograms
   diff     <trace> <trace2>   per-quantum IPC/stall/switch deltas
+  cpi      <trace> [<trace2>] per-thread CPI stacks (--cpi runs): cause
+                              shares, ROB-empty breakdown, contention
+                              matrix, per-quantum series; two traces = A/B
+                              per-quantum stack diff
 
 options:
   --limit N    cap table / waterfall rows printed (0 = no cap, default)
@@ -555,6 +567,245 @@ int cmd_diff(const ReadTrace& a, const ReadTrace& b, const Options& opt) {
   return smt::kExitOk;
 }
 
+// ---------------------------------------------------------------------------
+// cpi
+
+/// One thread's accumulated CPI stack over the whole trace (or, in diff
+/// mode, one kCpiStack row keyed by quantum × tid).
+struct CpiAgg {
+  std::uint64_t span = 0;
+  std::uint64_t width = 0;  ///< commit width (kCpiStack value column)
+  std::array<std::uint64_t, smt::obs::kNumCpiCauses> cpi{};
+  std::array<std::uint64_t, smt::obs::kNumStallCauses> rob_by{};
+  std::array<std::uint64_t, smt::obs::kCpiMaxThreads> contend{};
+
+  void add(const ReadEvent& e) {
+    span += e.span;
+    width = e.value;
+    for (std::size_t i = 0; i < cpi.size(); ++i) cpi[i] += e.cpi[i];
+    for (std::size_t i = 0; i < rob_by.size(); ++i) rob_by[i] += e.stalls[i];
+    for (std::size_t i = 0; i < contend.size(); ++i) {
+      contend[i] += e.contend[i];
+    }
+  }
+};
+
+std::string share_of(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? "0"
+                    : Table::num(static_cast<double>(part) /
+                                 static_cast<double>(whole));
+}
+
+int cmd_cpi(const ReadTrace& trace, const Options& opt) {
+  print_provenance(trace);
+
+  std::map<std::int64_t, CpiAgg> by_tid;
+  std::size_t rows = 0;
+  for (const ReadEvent& e : trace.events) {
+    if (e.kind != EventKind::kCpiStack) continue;
+    by_tid[e.tid].add(e);
+    ++rows;
+  }
+  if (rows == 0) {
+    std::cout << "no cpi_stack events in trace (run smtsim with --cpi "
+                 "--trace)\n";
+    return smt::kExitOk;
+  }
+
+  // Per-thread stacks, one cause per row; the ROB-empty bucket breaks out
+  // into the fetch stall cause that starved the window.
+  Table stacks({"thread", "cause", "slots", "share", "cpi"});
+  std::uint64_t conservation_gap = 0;
+  std::uint64_t slots_accounted = 0;
+  for (const auto& [tid, a] : by_tid) {
+    const std::uint64_t budget = a.width * a.span;
+    slots_accounted += budget;
+    std::uint64_t total = 0;
+    std::uint64_t rob_by_sum = 0;
+    std::uint64_t contend_sum = 0;
+    for (const std::uint64_t v : a.cpi) total += v;
+    for (const std::uint64_t v : a.rob_by) rob_by_sum += v;
+    for (const std::uint64_t v : a.contend) contend_sum += v;
+    const auto diff = [](std::uint64_t x, std::uint64_t y) {
+      return x > y ? x - y : y - x;
+    };
+    conservation_gap +=
+        diff(total, budget) +
+        diff(rob_by_sum, a.cpi[static_cast<std::size_t>(
+                             smt::obs::CpiCause::kRobEmpty)]) +
+        diff(contend_sum, a.cpi[static_cast<std::size_t>(
+                              smt::obs::CpiCause::kFuContention)]);
+    const std::uint64_t committed =
+        a.cpi[static_cast<std::size_t>(smt::obs::CpiCause::kCommitted)];
+    for (std::size_t c = 0; c < a.cpi.size(); ++c) {
+      if (a.cpi[c] == 0) continue;
+      // "cpi" is the bucket's contribution to the thread's CPI: lost
+      // slots per committed instruction (the committed row reads as the
+      // base cost, 1/IPC of a perfect machine at this width).
+      stacks.add_row(
+          {std::to_string(tid),
+           std::string(name(static_cast<smt::obs::CpiCause>(c))),
+           std::to_string(a.cpi[c]), share_of(a.cpi[c], budget),
+           committed != 0 ? Table::num(static_cast<double>(a.cpi[c]) /
+                                       static_cast<double>(committed))
+                          : "-"});
+      if (static_cast<smt::obs::CpiCause>(c) ==
+          smt::obs::CpiCause::kRobEmpty) {
+        for (std::size_t s = 0; s < a.rob_by.size(); ++s) {
+          if (a.rob_by[s] == 0) continue;
+          stacks.add_row(
+              {std::to_string(tid),
+               "  rob_empty:" +
+                   std::string(name(static_cast<smt::obs::StallCause>(s))),
+               std::to_string(a.rob_by[s]), share_of(a.rob_by[s], budget),
+               ""});
+        }
+      }
+    }
+  }
+  print_table(stacks, opt);
+
+  // Co-runner contention matrix: who held the FU / memory port while each
+  // thread's ready head waited — the symbiosis signal.
+  bool any_contention = false;
+  for (const auto& [tid, a] : by_tid) {
+    for (const std::uint64_t v : a.contend) any_contention |= v != 0;
+  }
+  if (any_contention) {
+    std::cout << '\n';
+    std::vector<std::string> head{"waiter \\ holder"};
+    for (const auto& [tid, a] : by_tid) head.push_back(std::to_string(tid));
+    Table m(head);
+    for (const auto& [tid, a] : by_tid) {
+      std::vector<std::string> row{std::to_string(tid)};
+      for (const auto& [holder, unused] : by_tid) {
+        row.push_back(std::to_string(
+            a.contend[static_cast<std::size_t>(holder)]));
+      }
+      m.add_row(row);
+    }
+    print_table(m, opt);
+  }
+
+  // Per-quantum time-series (total loss share and the dominant cause).
+  std::cout << '\n';
+  Table series({"quantum", "thread", "cycles", "ipc", "lost_share",
+                "top_cause", "top_share"});
+  std::size_t skipped = 0;
+  for (const ReadEvent& e : trace.events) {
+    if (e.kind != EventKind::kCpiStack) continue;
+    if (opt.limit != 0 && series.rows() >= opt.limit) {
+      ++skipped;
+      continue;
+    }
+    const std::uint64_t budget = e.value * e.span;
+    const auto committed_ix =
+        static_cast<std::size_t>(smt::obs::CpiCause::kCommitted);
+    std::size_t top = 0;
+    std::uint64_t top_v = 0;
+    std::uint64_t lost = 0;
+    for (std::size_t c = 0; c < e.cpi.size(); ++c) {
+      if (c == committed_ix) continue;
+      lost += e.cpi[c];
+      if (e.cpi[c] > top_v) {
+        top_v = e.cpi[c];
+        top = c;
+      }
+    }
+    series.add_row(
+        {std::to_string(e.quantum), std::to_string(e.tid),
+         std::to_string(e.span), ipc_or_dash(e.ipc), share_of(lost, budget),
+         top_v != 0 ? std::string(name(static_cast<smt::obs::CpiCause>(top)))
+                    : "-",
+         share_of(top_v, budget)});
+  }
+  print_table(series, opt);
+  if (skipped != 0) std::cout << "  ... " << skipped << " more rows\n";
+
+  std::cout << '\n'
+            << rows << " cpi rows, " << by_tid.size() << " threads, "
+            << slots_accounted << " commit slots accounted, conservation "
+            << (conservation_gap == 0
+                    ? "OK"
+                    : "VIOLATED (gap " + std::to_string(conservation_gap) +
+                          ")")
+            << '\n';
+  return smt::kExitOk;
+}
+
+int cmd_cpi_diff(const ReadTrace& a, const ReadTrace& b, const Options& opt) {
+  const auto da = a.build.find("config_digest");
+  const auto db = b.build.find("config_digest");
+  if (da != a.build.end() && db != b.build.end() &&
+      da->second != db->second) {
+    std::cout << "note: config digests differ (" << da->second << " vs "
+              << db->second << ")\n";
+  }
+
+  // Key rows by quantum × tid; each side contributes at most one
+  // kCpiStack row per key.
+  using Key = std::pair<std::uint64_t, std::int64_t>;
+  const auto collect_cpi = [](const ReadTrace& t) {
+    std::map<Key, CpiAgg> m;
+    for (const ReadEvent& e : t.events) {
+      if (e.kind != EventKind::kCpiStack) continue;
+      m[{e.quantum, e.tid}].add(e);
+    }
+    return m;
+  };
+  const std::map<Key, CpiAgg> qa = collect_cpi(a);
+  const std::map<Key, CpiAgg> qb = collect_cpi(b);
+
+  std::vector<Key> keys;
+  for (const auto& [k, v] : qa) keys.push_back(k);
+  for (const auto& [k, v] : qb) {
+    if (qa.find(k) == qa.end()) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+
+  std::vector<std::string> head{"quantum", "thread"};
+  for (std::size_t c = 0; c < smt::obs::kNumCpiCauses; ++c) {
+    head.push_back("d_" +
+                   std::string(name(static_cast<smt::obs::CpiCause>(c))));
+  }
+  Table t(head);
+  std::size_t differing = 0;
+  std::size_t skipped = 0;
+  for (const Key& k : keys) {
+    const auto ia = qa.find(k);
+    const auto ib = qb.find(k);
+    const CpiAgg ea = ia != qa.end() ? ia->second : CpiAgg{};
+    const CpiAgg eb = ib != qb.end() ? ib->second : CpiAgg{};
+    bool same = ia != qa.end() && ib != qb.end() && ea.span == eb.span;
+    if (same) {
+      same = ea.cpi == eb.cpi && ea.rob_by == eb.rob_by &&
+             ea.contend == eb.contend;
+    }
+    if (same) continue;
+    ++differing;
+    if (opt.limit != 0 && t.rows() >= opt.limit) {
+      ++skipped;
+      continue;
+    }
+    std::vector<std::string> row{std::to_string(k.first),
+                                 std::to_string(k.second)};
+    for (std::size_t c = 0; c < smt::obs::kNumCpiCauses; ++c) {
+      row.push_back(std::to_string(static_cast<std::int64_t>(eb.cpi[c]) -
+                                   static_cast<std::int64_t>(ea.cpi[c])));
+    }
+    t.add_row(row);
+  }
+
+  if (t.rows() != 0) {
+    print_table(t, opt);
+    if (skipped != 0) std::cout << "  ... " << skipped << " more\n";
+    std::cout << '\n';
+  }
+  std::cout << keys.size() << " cpi rows compared, " << differing
+            << " differing\n";
+  return smt::kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -569,14 +820,22 @@ int main(int argc, char** argv) {
     if (pos.empty()) throw smt::UsageError("missing command");
     const std::string& cmd = pos[0];
     const bool is_diff = cmd == "diff";
+    const bool is_cpi = cmd == "cpi";
     if (cmd != "summary" && cmd != "switches" && cmd != "pipeview" &&
-        cmd != "hist" && !is_diff) {
+        cmd != "hist" && !is_diff && !is_cpi) {
       throw smt::UsageError("unknown command: " + cmd);
     }
-    const std::size_t want = is_diff ? 3 : 2;
-    if (pos.size() != want) {
-      throw smt::UsageError(cmd + " takes exactly " +
-                            std::to_string(want - 1) + " trace argument(s)");
+    if (is_cpi) {
+      if (pos.size() != 2 && pos.size() != 3) {
+        throw smt::UsageError("cpi takes 1 or 2 trace arguments");
+      }
+    } else {
+      const std::size_t want = is_diff ? 3 : 2;
+      if (pos.size() != want) {
+        throw smt::UsageError(cmd + " takes exactly " +
+                              std::to_string(want - 1) +
+                              " trace argument(s)");
+      }
     }
 
     Options opt;
@@ -588,6 +847,10 @@ int main(int argc, char** argv) {
     if (cmd == "switches") return cmd_switches(trace, opt);
     if (cmd == "pipeview") return cmd_pipeview(trace, opt);
     if (cmd == "hist") return cmd_hist(trace, opt);
+    if (is_cpi) {
+      return pos.size() == 3 ? cmd_cpi_diff(trace, load(pos[2]), opt)
+                             : cmd_cpi(trace, opt);
+    }
     return cmd_diff(trace, load(pos[2]), opt);
   } catch (const smt::UsageError& e) {
     std::cerr << "smttrace: " << e.what() << "\n\n" << kUsage;

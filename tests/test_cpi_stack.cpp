@@ -1,0 +1,256 @@
+// Property tests: per-slot commit-loss accounting (obs::CpiStack
+// maintained by Pipeline::account_cpi).
+//
+// The load-bearing property is conservation: every commit slot of every
+// accounted cycle, for every thread, is charged to exactly one CpiCause —
+// committed work or a specific loss — never lost, never double-counted.
+// The two sub-breakdowns (ROB-empty by fetch stall cause, FU contention
+// by holder thread) must each sum to their parent bucket.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/cpi_stack.hpp"
+#include "obs/trace_read.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/simulator.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/mix.hpp"
+
+namespace smt::pipeline {
+namespace {
+
+sim::SimConfig quick_sim(const char* mix_name, bool adts = false) {
+  sim::SimConfig cfg = sim::make_config(workload::mix(mix_name), 8, 2003);
+  cfg.adts.quantum_cycles = 1024;
+  cfg.use_adts = adts;
+  cfg.cpi = true;
+  return cfg;
+}
+
+std::uint64_t gap_of(const Pipeline& p, std::uint32_t tid) {
+  return obs::conservation_gap(p.cpi_stack(tid), p.config().commit_width,
+                               p.cpi_cycles_accounted());
+}
+
+TEST(CpiStack, WholeRunConservationAcrossMixes) {
+  for (const char* mix : {"bal1", "mem8", "ilp8", "ctrl8"}) {
+    for (const bool adts : {false, true}) {
+      sim::Simulator s(quick_sim(mix, adts));
+      s.run(16 * 1024);
+      ASSERT_TRUE(s.pipeline().cpi_accounting());
+      EXPECT_EQ(s.pipeline().cpi_cycles_accounted(), 16u * 1024u);
+      for (std::uint32_t tid = 0; tid < s.pipeline().num_threads(); ++tid) {
+        EXPECT_EQ(gap_of(s.pipeline(), tid), 0u)
+            << mix << (adts ? " (adts)" : " (fixed)") << " tid " << tid;
+      }
+    }
+  }
+}
+
+TEST(CpiStack, PerCycleConservation) {
+  sim::Simulator s(quick_sim("mem8", /*adts=*/true));
+  const std::uint64_t width = s.pipeline().config().commit_width;
+  const std::uint32_t n = s.pipeline().num_threads();
+  std::vector<std::uint64_t> prev(n, 0);
+  for (int cycle = 0; cycle < 4096; ++cycle) {
+    s.step();
+    for (std::uint32_t tid = 0; tid < n; ++tid) {
+      const std::uint64_t total = s.pipeline().cpi_stack(tid).total();
+      ASSERT_EQ(total - prev[tid], width) << "cycle " << cycle << " tid "
+                                          << tid;
+      prev[tid] = total;
+      ASSERT_EQ(gap_of(s.pipeline(), tid), 0u) << "cycle " << cycle;
+    }
+  }
+}
+
+// One firing negative per cause class: perturbing any single bucket by a
+// single slot must make conservation_gap nonzero — the invariant has no
+// blind spot a mischarge could hide in.
+TEST(CpiStack, CorruptingAnyCauseFiresTheConservationGap) {
+  for (std::size_t cause = 0; cause < obs::kNumCpiCauses; ++cause) {
+    sim::Simulator s(quick_sim("bal1"));
+    s.run(2048);
+    ASSERT_EQ(gap_of(s.pipeline(), 1), 0u) << "cause " << cause;
+    s.pipeline().testing_corrupt_cpi(1, cause, 1);
+    EXPECT_GT(gap_of(s.pipeline(), 1), 0u)
+        << "cause "
+        << name(static_cast<obs::CpiCause>(cause))
+        << " absorbed a phantom slot";
+  }
+}
+
+TEST(CpiStack, CommonCausesFireOnTheirNaturalMixes) {
+  using obs::CpiCause;
+  // Memory-bound co-runners: long-latency loads dominate, queues fill.
+  {
+    sim::Simulator s(quick_sim("mem8"));
+    s.run(16 * 1024);
+    const obs::CpiStack& st = s.pipeline().cpi_stack(0);
+    EXPECT_GT(st[CpiCause::kCommitted], 0u);
+    EXPECT_GT(st[CpiCause::kMemLatency], 0u);
+    EXPECT_GT(st[CpiCause::kStructuralFull], 0u);
+    EXPECT_GT(st[CpiCause::kRobEmpty], 0u);
+    EXPECT_GT(st[CpiCause::kDepWait], 0u);
+  }
+  // Control-bound: mispredict squashes cost recovery cycles.
+  {
+    sim::Simulator s(quick_sim("ctrl8"));
+    s.run(16 * 1024);
+    std::uint64_t squash = 0;
+    for (std::uint32_t tid = 0; tid < 8; ++tid) {
+      squash += s.pipeline().cpi_stack(tid)[CpiCause::kSquashRecovery];
+    }
+    EXPECT_GT(squash, 0u);
+  }
+}
+
+TEST(CpiStack, ContentionIsAttributedToCoRunners) {
+  sim::Simulator s(quick_sim("ilp8"));
+  s.run(16 * 1024);
+  std::uint64_t contention = 0;
+  std::uint64_t cross_thread = 0;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    const obs::CpiStack& st = s.pipeline().cpi_stack(tid);
+    contention += st[obs::CpiCause::kFuContention];
+    std::uint64_t by_holder = 0;
+    for (std::size_t h = 0; h < obs::kCpiMaxThreads; ++h) {
+      by_holder += st.contend[h];
+      if (h != tid) cross_thread += st.contend[h];
+    }
+    // The holder breakdown is exactly the contention bucket.
+    EXPECT_EQ(by_holder, st[obs::CpiCause::kFuContention]) << "tid " << tid;
+  }
+  // ILP-heavy co-runners saturate the ALUs: contention exists and is
+  // mostly charged to *other* threads (the symbiosis signal).
+  EXPECT_GT(contention, 0u);
+  EXPECT_GT(cross_thread, 0u);
+}
+
+TEST(CpiStack, FetchBlackoutDrainsIntoSwitchOverhead) {
+  sim::Simulator s(quick_sim("ilp8"));
+  s.run(1024);
+  const std::uint64_t before =
+      s.pipeline().cpi_stack(3)[obs::CpiCause::kSwitchOverhead];
+  // A long externally-imposed fetch blackout (what a context-switch or
+  // DT-induced blackout looks like) drains the window; the empty-window
+  // slots must be charged to switch overhead, not generic ROB-empty.
+  s.pipeline().block_fetch(3, s.now() + 2048);
+  s.run(2048);
+  const std::uint64_t after =
+      s.pipeline().cpi_stack(3)[obs::CpiCause::kSwitchOverhead];
+  EXPECT_GT(after, before);
+}
+
+TEST(CpiStack, RobEmptyBreaksDownByFetchCause) {
+  sim::Simulator s(quick_sim("mem8"));
+  s.run(16 * 1024);
+  std::uint64_t icache = 0;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    icache += s.pipeline().cpi_stack(tid).rob_empty_by[static_cast<
+        std::size_t>(obs::StallCause::kIcacheMiss)];
+  }
+  // Cold instruction caches starve the window early in every run.
+  EXPECT_GT(icache, 0u);
+}
+
+TEST(CpiStack, AccountingIsObservationOnly) {
+  sim::SimConfig on = quick_sim("bal1", /*adts=*/true);
+  sim::SimConfig off = on;
+  off.cpi = false;
+  sim::Simulator a(on);
+  sim::Simulator b(off);
+  a.run(8 * 1024);
+  b.run(8 * 1024);
+  EXPECT_EQ(a.committed(), b.committed());
+  EXPECT_EQ(a.pipeline().stats().fetched, b.pipeline().stats().fetched);
+  EXPECT_EQ(a.pipeline().stats().mispredicts,
+            b.pipeline().stats().mispredicts);
+  EXPECT_EQ(a.pipeline().charged_stall_slots(),
+            b.pipeline().charged_stall_slots());
+  // And the off run carries no accounting state at all.
+  EXPECT_FALSE(b.pipeline().cpi_accounting());
+  EXPECT_EQ(b.pipeline().cpi_cycles_accounted(), 0u);
+}
+
+TEST(CpiStack, CopiesDropTheAccounting) {
+  // Same contract as the trace sink / checker / profiler: oracle snapshots
+  // must stay silent, so copies reset the observer state.
+  sim::Simulator s(quick_sim("bal1"));
+  s.run(1024);
+  ASSERT_TRUE(s.pipeline().cpi_accounting());
+  const sim::Simulator copy(s);
+  EXPECT_FALSE(copy.pipeline().cpi_accounting());
+  EXPECT_EQ(copy.pipeline().cpi_cycles_accounted(), 0u);
+  EXPECT_TRUE(s.pipeline().cpi_accounting());
+}
+
+TEST(CpiStack, TraceRowsSumToThePipelineStacks) {
+  sim::Simulator s(quick_sim("mem8"));
+  obs::TraceSink sink;
+  s.attach_trace(&sink);
+  // An exact multiple of the quantum, so the final boundary snapshot
+  // lands on the last cycle and the rows tile the whole run.
+  s.run(8 * 1024);
+  s.flush_trace();
+  std::stringstream ss;
+  sink.write(ss, obs::TraceFormat::kJsonl, sim::trace_decoder());
+  const obs::ReadTrace trace = obs::read_trace(ss);
+
+  std::array<obs::CpiStack, obs::kCpiMaxThreads> sums{};
+  std::array<std::uint64_t, obs::kCpiMaxThreads> spans{};
+  std::size_t rows = 0;
+  for (const obs::ReadEvent& e : trace.events) {
+    if (e.kind != obs::EventKind::kCpiStack) continue;
+    ++rows;
+    ASSERT_GE(e.tid, 0);
+    ASSERT_EQ(e.value, s.pipeline().config().commit_width);
+    obs::CpiStack& acc = sums[static_cast<std::size_t>(e.tid)];
+    spans[static_cast<std::size_t>(e.tid)] += e.span;
+    for (std::size_t c = 0; c < obs::kNumCpiCauses; ++c) {
+      acc.slots[c] += e.cpi[c];
+    }
+    for (std::size_t c = 0; c < obs::kNumStallCauses; ++c) {
+      acc.rob_empty_by[c] += e.stalls[c];
+    }
+    for (std::size_t h = 0; h < obs::kCpiMaxThreads; ++h) {
+      acc.contend[h] += e.contend[h];
+    }
+  }
+  ASSERT_EQ(rows, 8u * 8u);  // 8 quanta × 8 threads
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    const obs::CpiStack& live = s.pipeline().cpi_stack(tid);
+    EXPECT_EQ(spans[tid], s.pipeline().cpi_cycles_accounted());
+    for (std::size_t c = 0; c < obs::kNumCpiCauses; ++c) {
+      EXPECT_EQ(sums[tid].slots[c], live.slots[c]) << "tid " << tid;
+    }
+    for (std::size_t c = 0; c < obs::kNumStallCauses; ++c) {
+      EXPECT_EQ(sums[tid].rob_empty_by[c], live.rob_empty_by[c]);
+    }
+    for (std::size_t h = 0; h < obs::kCpiMaxThreads; ++h) {
+      EXPECT_EQ(sums[tid].contend[h], live.contend[h]);
+    }
+    // And each decoded row set preserves conservation.
+    EXPECT_EQ(obs::conservation_gap(sums[tid],
+                                    s.pipeline().config().commit_width,
+                                    spans[tid]),
+              0u);
+  }
+}
+
+TEST(CpiStack, StacksSurviveQuantumCounterResets) {
+  // Like the stall breakdown, the stacks are pipeline-lifetime monotone:
+  // the detector's boundary resets must not clear them, or per-quantum
+  // trace deltas (plain differencing, no epochs) would break.
+  sim::Simulator s(quick_sim("bal1"));
+  s.run(2048);
+  const std::uint64_t before = s.pipeline().cpi_stack(0).total();
+  ASSERT_GT(before, 0u);
+  s.pipeline().reset_quantum_counters();
+  EXPECT_EQ(s.pipeline().cpi_stack(0).total(), before);
+  EXPECT_EQ(gap_of(s.pipeline(), 0), 0u);
+}
+
+}  // namespace
+}  // namespace smt::pipeline
